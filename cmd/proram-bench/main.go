@@ -1,0 +1,92 @@
+// Command proram-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	proram-bench -list
+//	proram-bench -exp fig8a [-scale 0.5] [-csv] [-out results/]
+//	proram-bench -all [-scale 0.25]
+//
+// Each experiment prints the same rows/series the paper's figure plots
+// (see DESIGN.md §5 for the mapping). Scale 1 reproduces the full-size
+// runs; smaller scales shrink every workload proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"proram/internal/exp"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		expID = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1 = full size)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		out   = flag.String("out", "", "directory to also write per-experiment files into")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range exp.IDs() {
+			title, _ := exp.Title(id)
+			fmt.Printf("%-8s %s\n", id, title)
+		}
+		return
+	case *all:
+		for _, id := range exp.IDs() {
+			if err := runOne(id, *scale, *csv, *out); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	case *expID != "":
+		if err := runOne(*expID, *scale, *csv, *out); err != nil {
+			fatal(err)
+		}
+		return
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, scale float64, csv bool, outDir string) error {
+	start := time.Now()
+	tb, err := exp.Run(id, exp.Options{Scale: scale})
+	if err != nil {
+		return err
+	}
+	var body string
+	if csv {
+		body = tb.CSV()
+	} else {
+		body = tb.Format()
+	}
+	fmt.Print(body)
+	fmt.Printf("# elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		ext := ".txt"
+		if csv {
+			ext = ".csv"
+		}
+		if err := os.WriteFile(filepath.Join(outDir, id+ext), []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "proram-bench:", err)
+	os.Exit(1)
+}

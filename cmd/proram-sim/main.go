@@ -1,0 +1,130 @@
+// Command proram-sim runs a single memory-system simulation and prints a
+// detailed report.
+//
+// Usage:
+//
+//	proram-sim -workload ocean_c -scheme dynamic
+//	proram-sim -workload synthetic -locality 0.8 -ops 500000 -memory dram
+//	proram-sim -workload ycsb -scheme static -z 4 -stash 50
+//
+// Workloads: synthetic, ycsb, tpcc, or any Splash2/SPEC06 benchmark name
+// (water_ns ... ocean_nc, h264 ... mcf).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"proram"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "synthetic", "workload name")
+		ops      = flag.Uint64("ops", 400_000, "memory operations to simulate")
+		locality = flag.Float64("locality", 0.5, "synthetic: fraction of data with locality")
+		memory   = flag.String("memory", "oram", "memory technology: oram or dram")
+		scheme   = flag.String("scheme", "none", "prefetch scheme: none, static, dynamic")
+		maxSB    = flag.Int("sbsize", 2, "maximum super block size")
+		stream   = flag.Bool("stream", false, "enable the traditional stream prefetcher")
+		z        = flag.Int("z", 0, "ORAM bucket size Z (0 = default 3)")
+		stash    = flag.Int("stash", 0, "stash capacity in blocks (0 = default 100)")
+		periodic = flag.Bool("periodic", false, "periodic (timing-protected) ORAM accesses")
+		oint     = flag.Uint64("oint", 0, "periodic access interval in cycles (0 = default)")
+		warmup   = flag.Uint64("warmup", 0, "unmeasured warmup operations")
+		seed     = flag.Uint64("seed", 1, "workload / ORAM seed")
+	)
+	flag.Parse()
+
+	w, err := pickWorkload(*workload, *ops, *locality, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := proram.SimConfig{
+		MaxSuperBlock:    *maxSB,
+		StreamPrefetcher: *stream,
+		Z:                *z,
+		StashBlocks:      *stash,
+		Periodic:         *periodic,
+		Oint:             *oint,
+		WarmupOps:        *warmup,
+		Seed:             *seed,
+	}
+	switch *memory {
+	case "oram":
+		cfg.Memory = proram.MemoryORAM
+	case "dram":
+		cfg.Memory = proram.MemoryDRAM
+	default:
+		fatal(fmt.Errorf("unknown memory %q", *memory))
+	}
+	switch *scheme {
+	case "none":
+		cfg.Scheme = proram.SchemeNone
+	case "static":
+		cfg.Scheme = proram.SchemeStatic
+	case "dynamic":
+		cfg.Scheme = proram.SchemeDynamic
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	s, err := proram.NewSimulator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := s.Run(w)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload         %s (%d ops)\n", w.Name, w.Ops)
+	fmt.Printf("memory           %s, scheme %s\n", *memory, *scheme)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("llc misses       %d\n", res.LLCMisses)
+	fmt.Printf("memory accesses  %d\n", res.MemoryAccesses)
+	if cfg.Memory == proram.MemoryORAM {
+		o := res.ORAM
+		fmt.Printf("oram reads/writes    %d / %d\n", o.Reads, o.Writes)
+		fmt.Printf("path accesses        %d\n", o.PathAccesses)
+		fmt.Printf("background evictions %d\n", o.BackgroundEvictions)
+		fmt.Printf("periodic dummies     %d\n", o.DummyAccesses)
+		fmt.Printf("merges / breaks      %d / %d\n", o.Merges, o.Breaks)
+		fmt.Printf("prefetch issued      %d (hits %d, unused %d, miss rate %.3f)\n",
+			o.PrefetchIssued, o.PrefetchHits, o.PrefetchUnused, o.PrefetchMissRate())
+		fmt.Printf("stash high water     %d\n", o.StashHighWater)
+	}
+	if *stream {
+		fmt.Printf("stream prefetches    %d (hits %d)\n", res.StreamIssued, res.StreamHits)
+	}
+}
+
+func pickWorkload(name string, ops uint64, locality float64, seed uint64) (proram.Workload, error) {
+	switch name {
+	case "synthetic":
+		return proram.Synthetic(proram.SyntheticConfig{
+			Ops: ops, LocalityFraction: locality, WriteFraction: 0.25, Seed: seed,
+		})
+	case "ycsb":
+		return proram.YCSBWorkload(ops), nil
+	case "tpcc":
+		return proram.TPCCWorkload(ops), nil
+	}
+	for _, w := range proram.Splash2Workloads(ops) {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range proram.SPEC06Workloads(ops) {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return proram.Workload{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "proram-sim:", err)
+	os.Exit(1)
+}

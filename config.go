@@ -1,0 +1,189 @@
+package proram
+
+import (
+	"fmt"
+
+	"proram/internal/oram"
+	"proram/internal/superblock"
+)
+
+// Scheme selects the prefetching scheme of an oblivious RAM.
+type Scheme int
+
+const (
+	// SchemeNone is baseline Path ORAM: no super blocks.
+	SchemeNone Scheme = iota
+	// SchemeStatic merges every aligned group of MaxSuperBlock blocks at
+	// initialization (the prior static scheme the paper compares against).
+	SchemeStatic
+	// SchemeDynamic is PrORAM: super blocks merge and break at runtime
+	// based on observed spatial locality.
+	SchemeDynamic
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "none"
+	case SchemeStatic:
+		return "static"
+	case SchemeDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Config describes an oblivious RAM instance.
+type Config struct {
+	// Blocks is the capacity in blocks. Addresses passed to Read/Write
+	// must be below Blocks.
+	Blocks uint64
+	// BlockBytes is the block (cacheline) size; 128 by default.
+	BlockBytes int
+	// Scheme selects the prefetcher; SchemeDynamic is PrORAM.
+	Scheme Scheme
+	// MaxSuperBlock bounds super block size (power of two; default 2).
+	MaxSuperBlock int
+	// CacheBlocks sizes the client-side block cache that plays the LLC's
+	// role: it serves repeated reads locally and lets the dynamic scheme
+	// observe co-residency. Default 4096 blocks.
+	CacheBlocks int
+	// Z is the tree bucket size (default 3).
+	Z int
+	// StashBlocks is the stash capacity (default 100).
+	StashBlocks int
+	// Key is the 16/24/32-byte AES key sealing block payloads at rest.
+	// Nil derives an ephemeral key from Seed (fine for experiments; supply
+	// a real key for actual storage).
+	Key []byte
+	// Seed drives the ORAM's randomness. Zero means 1.
+	Seed uint64
+}
+
+// DefaultConfig returns a PrORAM-enabled RAM of 2^16 blocks (8 MB).
+func DefaultConfig() Config {
+	return Config{
+		Blocks:        1 << 16,
+		BlockBytes:    128,
+		Scheme:        SchemeDynamic,
+		MaxSuperBlock: 2,
+		CacheBlocks:   4096,
+		Z:             3,
+		StashBlocks:   100,
+		Seed:          1,
+	}
+}
+
+// normalize fills zero fields with defaults and validates.
+func (c Config) normalize() (Config, error) {
+	d := DefaultConfig()
+	if c.Blocks == 0 {
+		c.Blocks = d.Blocks
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = d.BlockBytes
+	}
+	if c.MaxSuperBlock == 0 {
+		c.MaxSuperBlock = d.MaxSuperBlock
+	}
+	if c.CacheBlocks == 0 {
+		c.CacheBlocks = d.CacheBlocks
+	}
+	if c.Z == 0 {
+		c.Z = d.Z
+	}
+	if c.StashBlocks == 0 {
+		c.StashBlocks = d.StashBlocks
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Blocks < 2 {
+		return c, fmt.Errorf("proram: Blocks %d too small", c.Blocks)
+	}
+	if c.CacheBlocks < 16 {
+		return c, fmt.Errorf("proram: CacheBlocks %d too small (min 16)", c.CacheBlocks)
+	}
+	switch c.Scheme {
+	case SchemeNone, SchemeStatic, SchemeDynamic:
+	default:
+		return c, fmt.Errorf("proram: unknown scheme %d", int(c.Scheme))
+	}
+	return c, nil
+}
+
+// oramConfig converts to the internal controller configuration.
+func (c Config) oramConfig() oram.Config {
+	o := oram.DefaultConfig()
+	o.NumBlocks = c.Blocks
+	o.BlockBytes = c.BlockBytes
+	o.Z = c.Z
+	o.StashLimit = c.StashBlocks
+	o.Seed = c.Seed
+	o.Super = superblockConfig(c.Scheme, c.MaxSuperBlock)
+	return o
+}
+
+// superblockConfig maps the public scheme to the internal policy config.
+func superblockConfig(s Scheme, maxSize int) superblock.Config {
+	switch s {
+	case SchemeStatic:
+		return superblock.Config{Scheme: superblock.Static, MaxSize: maxSize}
+	case SchemeDynamic:
+		sb := superblock.DefaultConfig()
+		sb.MaxSize = maxSize
+		return sb
+	default:
+		return superblock.Config{Scheme: superblock.None, MaxSize: 1}
+	}
+}
+
+// Stats summarizes what an oblivious RAM (or the ORAM side of a
+// simulation) did.
+type Stats struct {
+	// Reads and Writes are the logical operations served.
+	Reads, Writes uint64
+	// CacheHits counts operations served from the client cache without an
+	// ORAM access.
+	CacheHits uint64
+	// PathAccesses is the total ORAM work (each is a full tree-path
+	// read+write) — the paper's energy proxy.
+	PathAccesses uint64
+	// BackgroundEvictions and DummyAccesses count overhead accesses.
+	BackgroundEvictions uint64
+	DummyAccesses       uint64
+	// Merges/Breaks are super block transitions (dynamic scheme).
+	Merges, Breaks uint64
+	// PrefetchIssued/PrefetchHits/PrefetchUnused track prefetch outcomes.
+	PrefetchIssued, PrefetchHits, PrefetchUnused uint64
+	// StashHighWater is the peak stash occupancy.
+	StashHighWater int
+}
+
+// PrefetchMissRate returns unused/(hits+unused), the Figure 9 metric.
+func (s Stats) PrefetchMissRate() float64 {
+	t := s.PrefetchHits + s.PrefetchUnused
+	if t == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUnused) / float64(t)
+}
+
+// statsFrom converts internal controller statistics.
+func statsFrom(o oram.Stats, reads, writes, cacheHits uint64) Stats {
+	return Stats{
+		Reads:               reads,
+		Writes:              writes,
+		CacheHits:           cacheHits,
+		PathAccesses:        o.PathAccesses,
+		BackgroundEvictions: o.BackgroundEvictions,
+		DummyAccesses:       o.DummyAccesses,
+		Merges:              o.Merges,
+		Breaks:              o.Breaks,
+		PrefetchIssued:      o.PrefetchIssued,
+		PrefetchHits:        o.PrefetchHits,
+		PrefetchUnused:      o.PrefetchUnused,
+		StashHighWater:      o.StashHighWater,
+	}
+}

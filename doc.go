@@ -1,0 +1,25 @@
+// Package proram is a from-scratch reproduction of "PrORAM: Dynamic
+// Prefetcher for Oblivious RAM" (Yu, Haider, Ren, Fletcher, Kwon,
+// van Dijk, Devadas — ISCA 2015).
+//
+// It provides three things:
+//
+//   - RAM: a usable oblivious RAM — a Path ORAM store with the PrORAM
+//     dynamic super block prefetcher, holding real (encrypted) data. See
+//     New and Config.
+//
+//   - Simulator: the paper's secure-processor memory-system simulator
+//     (in-order core, L1/LLC, DRAM or Path ORAM with super block
+//     schemes), driven by workload generators. See NewSimulator,
+//     SimConfig and the workload constructors (Synthetic, Splash2,
+//     SPEC06, YCSB, TPCC).
+//
+//   - Experiments: every table and figure of the paper's evaluation,
+//     regenerable via Experiment and ExperimentIDs (also exposed by
+//     cmd/proram-bench and bench_test.go).
+//
+// The implementation is pure Go, standard library only. DESIGN.md
+// documents the architecture and the substitutions made for the paper's
+// proprietary substrates; EXPERIMENTS.md records reproduced-vs-paper
+// results for every figure.
+package proram

@@ -1,0 +1,3 @@
+module proram
+
+go 1.22

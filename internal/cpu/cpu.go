@@ -1,0 +1,50 @@
+// Package cpu models the paper's Table 1 core: a 1 GHz in-order processor
+// that executes compute work between memory operations and blocks on every
+// memory reference until the memory system returns the data.
+package cpu
+
+import "proram/internal/trace"
+
+// MemSystem is what the core issues references into: given the current
+// cycle, a byte address and a read/write flag, it returns the cycle at
+// which the reference completes.
+type MemSystem interface {
+	Access(now uint64, addr uint64, write bool) (done uint64)
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Cycles is the program completion time.
+	Cycles uint64
+	// MemOps is the number of memory references executed.
+	MemOps uint64
+	// ComputeCycles is the total compute-gap time (diagnostics: the
+	// memory-boundedness of the run is 1 - ComputeCycles/Cycles).
+	ComputeCycles uint64
+}
+
+// Run executes the trace to completion on the memory system, starting at
+// cycle start, and returns the timing summary (Cycles is the absolute end
+// time). The core is blocking and in-order: each operation's compute gap
+// elapses, then the memory reference issues and the core stalls until it
+// completes.
+func Run(g trace.Generator, mem MemSystem, start uint64) Result {
+	var res Result
+	now := start
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		now += uint64(op.Gap)
+		res.ComputeCycles += uint64(op.Gap)
+		done := mem.Access(now, op.Addr, op.Write)
+		if done < now {
+			done = now
+		}
+		now = done
+		res.MemOps++
+	}
+	res.Cycles = now
+	return res
+}

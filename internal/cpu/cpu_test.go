@@ -1,0 +1,87 @@
+package cpu
+
+import (
+	"testing"
+
+	"proram/internal/trace"
+)
+
+// scriptedMem returns fixed latencies per access.
+type scriptedMem struct {
+	latency uint64
+	calls   []uint64 // issue times observed
+}
+
+func (m *scriptedMem) Access(now uint64, addr uint64, write bool) uint64 {
+	m.calls = append(m.calls, now)
+	return now + m.latency
+}
+
+// sliceGen replays a fixed op slice.
+type sliceGen struct {
+	ops []trace.Op
+	i   int
+}
+
+func (g *sliceGen) Next() (trace.Op, bool) {
+	if g.i >= len(g.ops) {
+		return trace.Op{}, false
+	}
+	op := g.ops[g.i]
+	g.i++
+	return op, true
+}
+func (g *sliceGen) Len() uint64 { return uint64(len(g.ops)) }
+
+func TestBlockingInOrderTiming(t *testing.T) {
+	mem := &scriptedMem{latency: 100}
+	g := &sliceGen{ops: []trace.Op{
+		{Gap: 10, Addr: 0},
+		{Gap: 20, Addr: 128},
+		{Gap: 0, Addr: 256, Write: true},
+	}}
+	res := Run(g, mem, 0)
+	// t=10 issue, done 110; t=130 issue, done 230; t=230 issue, done 330.
+	want := []uint64{10, 130, 230}
+	for i, w := range want {
+		if mem.calls[i] != w {
+			t.Fatalf("issue %d at %d, want %d", i, mem.calls[i], w)
+		}
+	}
+	if res.Cycles != 330 {
+		t.Fatalf("Cycles = %d, want 330", res.Cycles)
+	}
+	if res.MemOps != 3 || res.ComputeCycles != 30 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res := Run(&sliceGen{}, &scriptedMem{latency: 1}, 0)
+	if res.Cycles != 0 || res.MemOps != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+}
+
+// Memory systems that report completion before issue (e.g. cached hits
+// modeled as zero latency) must not move time backwards.
+type brokenMem struct{}
+
+func (brokenMem) Access(now uint64, addr uint64, write bool) uint64 { return 0 }
+
+func TestMonotonicTime(t *testing.T) {
+	g := &sliceGen{ops: []trace.Op{{Gap: 5, Addr: 0}, {Gap: 5, Addr: 1}}}
+	res := Run(g, brokenMem{}, 0)
+	if res.Cycles != 10 {
+		t.Fatalf("Cycles = %d, want 10", res.Cycles)
+	}
+}
+
+func TestRunStartOffset(t *testing.T) {
+	mem := &scriptedMem{latency: 10}
+	g := &sliceGen{ops: []trace.Op{{Gap: 5, Addr: 0}}}
+	res := Run(g, mem, 100)
+	if mem.calls[0] != 105 || res.Cycles != 115 {
+		t.Fatalf("offset run: issue %d end %d", mem.calls[0], res.Cycles)
+	}
+}

@@ -1,0 +1,176 @@
+// Package dram models main-memory timing the way the paper's Graphite
+// setup does: a flat access latency plus a pin-bandwidth constraint
+// (16 GB/s at 1 GHz ⇒ 16 bytes/cycle by default), with bank-level
+// parallelism available to the insecure DRAM baseline and a fully
+// serialized bulk-transfer mode used by the ORAM controller.
+//
+// All times are in core clock cycles (uint64). The model is analytic: it
+// computes completion times, it does not move data.
+package dram
+
+import "fmt"
+
+// Config describes a DRAM device and the channel connecting it to the chip.
+type Config struct {
+	// LatencyCycles is the flat access latency of one DRAM access
+	// (row activation + column read + transfer of one line), 100 in the paper.
+	LatencyCycles uint64
+	// BandwidthGBps is the pin bandwidth of the memory channel, 16 in the paper.
+	BandwidthGBps float64
+	// ClockGHz is the core clock used to convert bandwidth into bytes/cycle.
+	ClockGHz float64
+	// Banks is the number of banks that can serve independent accesses in
+	// parallel in the insecure baseline. The paper's Graphite DRAM model
+	// exploits bank-level parallelism; 8 is a typical value.
+	Banks int
+}
+
+// DefaultConfig returns the paper's Table 1 DRAM parameters.
+func DefaultConfig() Config {
+	return Config{
+		LatencyCycles: 100,
+		BandwidthGBps: 16,
+		ClockGHz:      1,
+		Banks:         8,
+	}
+}
+
+// BytesPerCycle converts the configured bandwidth into channel bytes per
+// core cycle.
+func (c Config) BytesPerCycle() float64 {
+	return c.BandwidthGBps / c.ClockGHz
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.LatencyCycles == 0 {
+		return fmt.Errorf("dram: LatencyCycles must be positive")
+	}
+	if c.BandwidthGBps <= 0 {
+		return fmt.Errorf("dram: BandwidthGBps must be positive, got %v", c.BandwidthGBps)
+	}
+	if c.ClockGHz <= 0 {
+		return fmt.Errorf("dram: ClockGHz must be positive, got %v", c.ClockGHz)
+	}
+	if c.Banks <= 0 {
+		return fmt.Errorf("dram: Banks must be positive, got %d", c.Banks)
+	}
+	return nil
+}
+
+// Stats aggregates what the device did over a run.
+type Stats struct {
+	Accesses      uint64 // individual line accesses
+	BulkTransfers uint64 // serialized bulk transfers (ORAM paths)
+	BytesMoved    uint64
+	BusyCycles    uint64 // channel occupancy
+}
+
+// Model is a DRAM timing model. The zero value is not usable; construct
+// with New.
+type Model struct {
+	cfg       Config
+	bankUntil []uint64 // per-bank next-free time
+	busUntil  uint64   // channel next-free time
+	stats     Stats
+}
+
+// New builds a Model from cfg. It panics on an invalid configuration
+// (configuration errors are programming errors in this simulator; the
+// public API validates before reaching here).
+func New(cfg Config) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Model{
+		cfg:       cfg,
+		bankUntil: make([]uint64, cfg.Banks),
+	}
+}
+
+// Config returns the configuration the model was built with.
+func (m *Model) Config() Config { return m.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Model) Stats() Stats { return m.stats }
+
+// transferCycles is the channel occupancy of moving n bytes.
+func (m *Model) transferCycles(bytes uint64) uint64 {
+	bpc := m.cfg.BytesPerCycle()
+	t := uint64(float64(bytes)/bpc + 0.999999)
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Access models one cache-line access issued at time now to the given
+// address. Banks may overlap independent accesses, but the shared channel
+// serializes data transfer. It returns the cycle at which the data is
+// available.
+func (m *Model) Access(now, addr, bytes uint64) uint64 {
+	bank := int((addr / 4096) % uint64(len(m.bankUntil))) // page-interleaved
+	transfer := m.transferCycles(bytes)
+
+	start := maxU64(now, m.bankUntil[bank])
+	// The channel must be free for the transfer portion at the end of the
+	// access; approximate by serializing transfers on the bus.
+	busStart := maxU64(start+m.cfg.LatencyCycles-transfer, m.busUntil)
+	done := busStart + transfer
+
+	m.bankUntil[bank] = done
+	m.busUntil = busStart + transfer
+	m.stats.Accesses++
+	m.stats.BytesMoved += bytes
+	m.stats.BusyCycles += transfer
+	return done
+}
+
+// BulkTransfer models a fully serialized transfer of bytes (an ORAM path
+// read+write saturates the channel; nothing overlaps it). It returns the
+// completion time. extraLatency is added once up front (e.g. the first
+// DRAM access latency and crypto pipeline fill).
+func (m *Model) BulkTransfer(now, bytes, extraLatency uint64) uint64 {
+	transfer := m.transferCycles(bytes)
+	start := maxU64(now, m.busUntil)
+	// A bulk transfer owns every bank and the channel until done.
+	done := start + extraLatency + transfer
+	for i := range m.bankUntil {
+		m.bankUntil[i] = done
+	}
+	m.busUntil = done
+	m.stats.BulkTransfers++
+	m.stats.BytesMoved += bytes
+	m.stats.BusyCycles += done - start
+	return done
+}
+
+// NextFree returns the earliest cycle at which the channel is idle.
+func (m *Model) NextFree() uint64 { return m.busUntil }
+
+// Reset clears device state and statistics, keeping the configuration.
+func (m *Model) Reset() {
+	for i := range m.bankUntil {
+		m.bankUntil[i] = 0
+	}
+	m.busUntil = 0
+	m.stats = Stats{}
+}
+
+// Sub returns the delta of s over an earlier snapshot (all fields are
+// monotone counters).
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Accesses:      s.Accesses - base.Accesses,
+		BulkTransfers: s.BulkTransfers - base.BulkTransfers,
+		BytesMoved:    s.BytesMoved - base.BytesMoved,
+		BusyCycles:    s.BusyCycles - base.BusyCycles,
+	}
+}

@@ -1,0 +1,147 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []Config{
+		{LatencyCycles: 0, BandwidthGBps: 16, ClockGHz: 1, Banks: 8},
+		{LatencyCycles: 100, BandwidthGBps: 0, ClockGHz: 1, Banks: 8},
+		{LatencyCycles: 100, BandwidthGBps: 16, ClockGHz: 0, Banks: 8},
+		{LatencyCycles: 100, BandwidthGBps: 16, ClockGHz: 1, Banks: 0},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config %+v", i, c)
+		}
+	}
+}
+
+func TestBytesPerCycle(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.BytesPerCycle(); got != 16 {
+		t.Fatalf("BytesPerCycle = %v, want 16", got)
+	}
+	c.ClockGHz = 2
+	if got := c.BytesPerCycle(); got != 8 {
+		t.Fatalf("BytesPerCycle at 2GHz = %v, want 8", got)
+	}
+}
+
+func TestSingleAccessLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	done := m.Access(0, 0, 128)
+	// Flat latency dominates a single line access.
+	if done != 100 {
+		t.Fatalf("single access completion = %d, want 100", done)
+	}
+}
+
+func TestIndependentBanksOverlap(t *testing.T) {
+	m := New(DefaultConfig())
+	// Two accesses to different 4KB pages land in different banks and
+	// should overlap almost completely.
+	d1 := m.Access(0, 0, 128)
+	d2 := m.Access(0, 4096, 128)
+	if d2 >= d1+100 {
+		t.Fatalf("bank parallelism missing: d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestSameBankSerializes(t *testing.T) {
+	m := New(DefaultConfig())
+	d1 := m.Access(0, 0, 128)
+	d2 := m.Access(0, 0, 128) // same page => same bank
+	if d2 < d1+100 {
+		t.Fatalf("same-bank accesses overlapped: d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestChannelBandwidthBoundsThroughput(t *testing.T) {
+	m := New(DefaultConfig())
+	// Saturate with accesses spread across banks; steady-state throughput
+	// must be limited by the 16 B/cycle channel: 128B per 8 cycles.
+	var done uint64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		done = m.Access(0, uint64(i)*4096, 128)
+	}
+	minCycles := uint64(n * 128 / 16)
+	if done < minCycles {
+		t.Fatalf("throughput exceeds channel bandwidth: %d accesses done at %d < %d", n, done, minCycles)
+	}
+}
+
+func TestBulkTransferTiming(t *testing.T) {
+	m := New(DefaultConfig())
+	// 19968 bytes at 16 B/cycle = 1248 cycles, plus 100 extra latency.
+	done := m.BulkTransfer(0, 19968, 100)
+	if done != 1348 {
+		t.Fatalf("BulkTransfer completion = %d, want 1348", done)
+	}
+}
+
+func TestBulkTransferSerializes(t *testing.T) {
+	m := New(DefaultConfig())
+	d1 := m.BulkTransfer(0, 1600, 0) // 100 cycles
+	d2 := m.BulkTransfer(0, 1600, 0)
+	if d2 != d1+100 {
+		t.Fatalf("bulk transfers did not serialize: d1=%d d2=%d", d1, d2)
+	}
+	// A line access issued during a bulk transfer waits for it.
+	m.Reset()
+	m.BulkTransfer(0, 1600, 0)
+	if done := m.Access(0, 0, 128); done < 100 {
+		t.Fatalf("line access overlapped bulk transfer: done=%d", done)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 0, 128)
+	m.BulkTransfer(200, 1600, 0)
+	s := m.Stats()
+	if s.Accesses != 1 || s.BulkTransfers != 1 {
+		t.Fatalf("stats counts wrong: %+v", s)
+	}
+	if s.BytesMoved != 128+1600 {
+		t.Fatalf("BytesMoved = %d, want %d", s.BytesMoved, 128+1600)
+	}
+	m.Reset()
+	if s := m.Stats(); s != (Stats{}) {
+		t.Fatalf("Reset did not clear stats: %+v", s)
+	}
+}
+
+func TestCompletionMonotoneInTime(t *testing.T) {
+	cfg := DefaultConfig()
+	check := func(now1, now2 uint32, addr uint64) bool {
+		if now1 > now2 {
+			now1, now2 = now2, now1
+		}
+		m1 := New(cfg)
+		m2 := New(cfg)
+		d1 := m1.Access(uint64(now1), addr, 128)
+		d2 := m2.Access(uint64(now2), addr, 128)
+		return d2 >= d1 && d1 >= uint64(now1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferNeverZero(t *testing.T) {
+	m := New(DefaultConfig())
+	d := m.BulkTransfer(0, 1, 0)
+	if d == 0 {
+		t.Fatal("zero-cycle transfer for 1 byte")
+	}
+}

@@ -1,0 +1,253 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (§5). Each experiment is registered under the paper's table/figure id
+// ("fig8a", "fig12", ...) and produces a Table whose rows/series mirror
+// what the paper plots, runnable from cmd/proram-bench, from bench_test.go
+// and from tests that assert the qualitative shapes.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"proram/internal/sim"
+	"proram/internal/superblock"
+	"proram/internal/trace"
+)
+
+// Options scales an experiment.
+type Options struct {
+	// Scale multiplies every workload's operation count. 1.0 reproduces
+	// the full-size runs; bench_test.go uses smaller scales. 0 means 1.0.
+	Scale float64
+	// Seed offsets the workload seeds, for variance studies.
+	Seed uint64
+}
+
+func (o Options) scale(ops uint64) uint64 {
+	s := o.Scale
+	if s == 0 {
+		s = 1
+	}
+	n := uint64(float64(ops) * s)
+	if n < 1000 {
+		n = 1000
+	}
+	return n
+}
+
+// Table is one regenerated table/figure.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string // value column names (the figure's series)
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one x-axis point (a benchmark, a sweep value, ...).
+type Row struct {
+	Label string
+	Cells []float64
+}
+
+// AddRow appends a row, checking arity.
+func (t *Table) AddRow(label string, cells ...float64) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("exp: row %q has %d cells for %d columns", label, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// Cell returns the value at (rowLabel, column); ok is false if absent.
+func (t *Table) Cell(rowLabel, column string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel {
+			return r.Cells[ci], true
+		}
+	}
+	return 0, false
+}
+
+// MustCell is Cell that panics when the coordinate is missing (harness
+// programming error).
+func (t *Table) MustCell(rowLabel, column string) float64 {
+	v, ok := t.Cell(rowLabel, column)
+	if !ok {
+		panic(fmt.Sprintf("exp: %s has no cell (%q, %q)", t.ID, rowLabel, column))
+	}
+	return v
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	width := 14
+	for _, r := range t.Rows {
+		if len(r.Label)+2 > width {
+			width = len(r.Label) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width, r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, "%14.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("label")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner regenerates one table/figure.
+type Runner func(Options) (*Table, error)
+
+var registry = map[string]struct {
+	title  string
+	runner Runner
+}{}
+
+// register wires an experiment id to its runner; called from init().
+func register(id, title string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("exp: duplicate experiment " + id)
+	}
+	registry[id] = struct {
+		title  string
+		runner Runner
+	}{title, r}
+}
+
+// IDs returns every registered experiment id, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's description.
+func Title(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.title, ok
+}
+
+// Run regenerates the identified table/figure.
+func Run(id string, opt Options) (*Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.runner(opt)
+}
+
+// ---- shared helpers ----
+
+// speedup is the paper's metric: T_base/T_variant - 1.
+func speedup(base, variant sim.Report) float64 {
+	return float64(base.Cycles)/float64(variant.Cycles) - 1
+}
+
+// normAccesses is the paper's energy proxy: variant accesses normalized to
+// the baseline.
+func normAccesses(base, variant sim.Report) float64 {
+	if base.MemoryAccesses == 0 {
+		return 0
+	}
+	return float64(variant.MemoryAccesses) / float64(base.MemoryAccesses)
+}
+
+// normTime normalizes a variant's completion time to a baseline's.
+func normTime(base, variant sim.Report) float64 {
+	return float64(variant.Cycles) / float64(base.Cycles)
+}
+
+// baseORAM returns the Table 1 ORAM system configuration.
+func baseORAM() sim.Config {
+	return sim.DefaultConfig(sim.TechORAM)
+}
+
+// baseDRAM returns the insecure DRAM system configuration.
+func baseDRAM() sim.Config {
+	return sim.DefaultConfig(sim.TechDRAM)
+}
+
+// warmupFraction is the share of each workload executed unmeasured before
+// the region of interest, matching the steady-state methodology of the
+// paper's Graphite runs.
+const warmupFraction = 0.4
+
+// withWarmup sets the standard warmup for a workload of the given length.
+func withWarmup(cfg sim.Config, ops uint64) sim.Config {
+	cfg.WarmupOps = uint64(float64(ops) * warmupFraction)
+	return cfg
+}
+
+// withScheme returns cfg with the given super block scheme installed.
+func withScheme(cfg sim.Config, s superblock.Config) sim.Config {
+	cfg.ORAM.Super = s
+	return cfg
+}
+
+// dynScheme is PrORAM's default dynamic configuration.
+func dynScheme() superblock.Config { return superblock.DefaultConfig() }
+
+// statScheme is the prior static scheme at the given granularity.
+func statScheme(size int) superblock.Config {
+	return superblock.Config{Scheme: superblock.Static, MaxSize: size}
+}
+
+// runSim builds and runs one system on a fresh generator.
+func runSim(cfg sim.Config, g trace.Generator) (sim.Report, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return sim.Report{}, err
+	}
+	return s.Run(g)
+}
+
+// genFactory builds fresh generators for repeated runs of one workload.
+type genFactory func() trace.Generator
+
+// modelFactory adapts a benchmark profile.
+func modelFactory(p trace.ModelParams) genFactory {
+	return func() trace.Generator { return trace.NewModel(p) }
+}

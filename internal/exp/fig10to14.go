@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+
+	"proram/internal/cache"
+	"proram/internal/sim"
+	"proram/internal/trace"
+)
+
+func init() {
+	register("fig10", "Merge/break coefficient sweep (Equation 1's C)", fig10)
+	register("fig11", "DRAM bandwidth sweep", fig11)
+	register("fig12", "Stash size sweep", fig12)
+	register("fig13", "Z value comparison", fig13)
+	register("fig14", "Cacheline size sweep", fig14)
+}
+
+// sensitivityBenchmarks picks the paper's sensitivity-study pair: one
+// benchmark with good spatial locality and one with bad.
+func sensitivityBenchmarks(opt Options, names ...string) []trace.ModelParams {
+	suite := trace.Splash2(opt.scale(fig8Ops))
+	ps := trace.ByName(suite, names...)
+	for i := range ps {
+		ps[i].Seed += opt.Seed
+	}
+	return ps
+}
+
+// fig10 sweeps CMerge/CBreak as in §5.5.1 (m{x}b{y} labels).
+func fig10(opt Options) (*Table, error) {
+	benches := sensitivityBenchmarks(opt, "ocean_c", "ocean_nc", "fft", "volrend")
+	combos := []struct {
+		label          string
+		cMerge, cBreak float64
+	}{
+		{"m1b1", 1, 1}, {"m2b2", 2, 2}, {"m4b1", 4, 1}, {"m4b4", 4, 4}, {"m8b8", 8, 8},
+	}
+	t := &Table{ID: "fig10", Title: "Dynamic-scheme speedup per merge/break coefficient"}
+	for _, c := range combos {
+		t.Columns = append(t.Columns, c.label)
+	}
+	for _, p := range benches {
+		gf := modelFactory(p)
+		base, err := runSim(withWarmup(baseORAM(), p.Ops), gf())
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", p.Name, err)
+		}
+		cells := make([]float64, 0, len(combos))
+		for _, c := range combos {
+			sb := dynScheme()
+			sb.CMerge = c.cMerge
+			sb.CBreak = c.cBreak
+			rep, err := runSim(withWarmup(withScheme(baseORAM(), sb), p.Ops), gf())
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s %s: %w", p.Name, c.label, err)
+			}
+			cells = append(cells, speedup(base, rep))
+		}
+		t.AddRow(p.Name, cells...)
+	}
+	t.Notes = append(t.Notes, "mXbY: CMerge=X, CBreak=Y in Equation 1; speedup over baseline ORAM")
+	return t, nil
+}
+
+// sweepTriple runs oram/stat/dyn for one workload and one config mutation,
+// reporting completion time normalized to the insecure DRAM system.
+func sweepTriple(p trace.ModelParams, mutate func(*sim.Config)) (oramT, statT, dynT float64, err error) {
+	gf := modelFactory(p)
+	dramCfg := withWarmup(baseDRAM(), p.Ops)
+	mutate(&dramCfg)
+	dramRep, err := runSim(dramCfg, gf())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	run := func(cfg sim.Config) (float64, error) {
+		cfg = withWarmup(cfg, p.Ops)
+		mutate(&cfg)
+		rep, err := runSim(cfg, gf())
+		if err != nil {
+			return 0, err
+		}
+		return normTime(dramRep, rep), nil
+	}
+	if oramT, err = run(baseORAM()); err != nil {
+		return 0, 0, 0, err
+	}
+	if statT, err = run(withScheme(baseORAM(), statScheme(2))); err != nil {
+		return 0, 0, 0, err
+	}
+	if dynT, err = run(withScheme(baseORAM(), dynScheme())); err != nil {
+		return 0, 0, 0, err
+	}
+	return oramT, statT, dynT, nil
+}
+
+// sweepFigure builds a fig11/12/13/14-style table: rows are
+// benchmark/sweep-point combinations, columns are oram/stat/dyn completion
+// times normalized to DRAM.
+func sweepFigure(id, title string, benches []trace.ModelParams,
+	points []string, mutate func(point string, cfg *sim.Config)) (*Table, error) {
+	t := &Table{ID: id, Title: title, Columns: []string{"oram", "stat", "dyn"}}
+	for _, p := range benches {
+		for _, pt := range points {
+			o, s, d, err := sweepTriple(p, func(cfg *sim.Config) { mutate(pt, cfg) })
+			if err != nil {
+				return nil, fmt.Errorf("%s %s@%s: %w", id, p.Name, pt, err)
+			}
+			t.AddRow(p.Name+"/"+pt, o, s, d)
+		}
+	}
+	t.Notes = append(t.Notes, "completion time normalized to the insecure DRAM system (lower is better)")
+	return t, nil
+}
+
+func fig11(opt Options) (*Table, error) {
+	return sweepFigure("fig11", "Completion time vs. DRAM bandwidth (GB/s)",
+		sensitivityBenchmarks(opt, "ocean_c", "volrend"),
+		[]string{"4", "8", "16"},
+		func(pt string, cfg *sim.Config) {
+			var bw float64
+			fmt.Sscanf(pt, "%f", &bw)
+			cfg.DRAM.BandwidthGBps = bw
+		})
+}
+
+func fig12(opt Options) (*Table, error) {
+	return sweepFigure("fig12", "Completion time vs. stash size (blocks)",
+		sensitivityBenchmarks(opt, "ocean_c", "volrend"),
+		[]string{"25", "50", "100", "200", "400"},
+		func(pt string, cfg *sim.Config) {
+			var n int
+			fmt.Sscanf(pt, "%d", &n)
+			cfg.ORAM.StashLimit = n
+		})
+}
+
+func fig13(opt Options) (*Table, error) {
+	return sweepFigure("fig13", "Completion time vs. Z",
+		sensitivityBenchmarks(opt, "fft", "ocean_c", "ocean_nc", "volrend"),
+		[]string{"Z3", "Z4"},
+		func(pt string, cfg *sim.Config) {
+			if pt == "Z3" {
+				cfg.ORAM.Z = 3
+			} else {
+				cfg.ORAM.Z = 4
+			}
+		})
+}
+
+func fig14(opt Options) (*Table, error) {
+	return sweepFigure("fig14", "Completion time vs. cacheline size (bytes)",
+		sensitivityBenchmarks(opt, "ocean_c", "volrend"),
+		[]string{"64", "128", "256"},
+		func(pt string, cfg *sim.Config) {
+			var b int
+			fmt.Sscanf(pt, "%d", &b)
+			cfg.BlockBytes = b
+			cfg.Hier.L1.LineBytes = b
+			cfg.Hier.L2.LineBytes = b
+		})
+}
+
+var _ = cache.Config{} // cacheline sweep touches hierarchy config types

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+
+	"proram/internal/prefetch"
+	"proram/internal/trace"
+)
+
+func init() {
+	register("fig5", "Traditional data prefetching on DRAM and ORAM", fig5)
+}
+
+// fig5 reproduces the §5.2 study: a stream prefetcher helps the DRAM
+// system but not the ORAM system, because ORAM has no spare bandwidth for
+// prefetch requests.
+func fig5(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Traditional data prefetching on DRAM and ORAM (speedup of adding a stream prefetcher)",
+		Columns: []string{"dram_pre", "oram_pre"},
+	}
+	pf := prefetch.DefaultConfig()
+	var sumD, sumO float64
+	suite := trace.Splash2(opt.scale(fig8Ops))
+	rows := trace.ByName(suite, trace.Fig5Splash2Names...)
+	for _, p := range rows {
+		p.Seed += opt.Seed
+		gf := modelFactory(p)
+
+		dram, err := runSim(withWarmup(baseDRAM(), p.Ops), gf())
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
+		}
+		dramPre := withWarmup(baseDRAM(), p.Ops)
+		dramPre.Prefetch = &pf
+		dramPreRep, err := runSim(dramPre, gf())
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
+		}
+
+		oramRep, err := runSim(withWarmup(baseORAM(), p.Ops), gf())
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
+		}
+		oramPre := withWarmup(baseORAM(), p.Ops)
+		oramPre.Prefetch = &pf
+		oramPreRep, err := runSim(oramPre, gf())
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
+		}
+
+		d := speedup(dram, dramPreRep)
+		o := speedup(oramRep, oramPreRep)
+		t.AddRow(p.Name, d, o)
+		sumD += d
+		sumO += o
+	}
+	t.AddRow("avg", sumD/float64(len(rows)), sumO/float64(len(rows)))
+	t.Notes = append(t.Notes,
+		"dram_pre: speedup of DRAM+prefetcher over DRAM; oram_pre: speedup of ORAM+prefetcher over ORAM")
+	return t, nil
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+
+	"proram/internal/sim"
+	"proram/internal/superblock"
+	"proram/internal/trace"
+)
+
+func init() {
+	register("fig6a", "Locality sweep on the synthetic benchmark (Z=4)", fig6a)
+	register("fig6b", "Phase-change behaviour of super block variants (Z=4)", fig6b)
+	register("fig7", "Super block size sweep on the 100%-locality synthetic benchmark (Z=4)", fig7)
+}
+
+// fig67Ops is the full-size synthetic op count.
+const fig67Ops = 500_000
+
+// fig7Ops is smaller: the size-8 static configuration thrashes the stash
+// (the figure's point), which makes every access cost dozens of background
+// evictions; the crossover shape is fully developed at this size.
+const fig7Ops = 150_000
+
+// syntheticFactory builds the §5.3 microbenchmark.
+func syntheticFactory(ops uint64, locality float64, phaseLen uint64, seed uint64) genFactory {
+	cfg := trace.SyntheticConfig{
+		Ops:              ops,
+		WorkingSetBytes:  2 << 20,
+		LocalityFraction: locality,
+		RunLen:           32,
+		Gap:              6,
+		WriteFraction:    0.25,
+		PhaseLen:         phaseLen,
+		Seed:             401 + seed,
+	}
+	return func() trace.Generator { return trace.NewSynthetic(cfg) }
+}
+
+// z4 applies the synthetic section's Z=4 setting.
+func z4(cfg sim.Config) sim.Config {
+	cfg.ORAM.Z = 4
+	return cfg
+}
+
+// fig6a sweeps the fraction of data with locality: the static scheme wins
+// only with good locality, the dynamic scheme never loses.
+func fig6a(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig6a",
+		Title:   "Speedup vs. percentage of data locality (synthetic, Z=4)",
+		Columns: []string{"stat", "dyn"},
+	}
+	ops := opt.scale(fig67Ops)
+	for _, loc := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		gf := syntheticFactory(ops, loc, 0, opt.Seed)
+		base, err := runSim(withWarmup(z4(baseORAM()), ops), gf())
+		if err != nil {
+			return nil, fmt.Errorf("fig6a loc=%v: %w", loc, err)
+		}
+		stat, err := runSim(withWarmup(z4(withScheme(baseORAM(), statScheme(2))), ops), gf())
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := runSim(withWarmup(z4(withScheme(baseORAM(), dynScheme())), ops), gf())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", loc*100), speedup(base, stat), speedup(base, dyn))
+	}
+	t.Notes = append(t.Notes, "speedup over baseline ORAM; locality = fraction of data accessed sequentially")
+	return t, nil
+}
+
+// fig6b compares the Figure 6b variants under phase change: the static
+// scheme, static merge without breaking (sm_nb), adaptive merge without
+// breaking (am_nb), and full PrORAM (am_ab).
+func fig6b(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig6b",
+		Title:   "Phase change: speedup and normalized accesses per variant (synthetic, Z=4)",
+		Columns: []string{"speedup", "norm_acc"},
+	}
+	ops := opt.scale(fig67Ops)
+	gf := syntheticFactory(ops, 0.5, ops/8, opt.Seed)
+	base, err := runSim(withWarmup(z4(baseORAM()), ops), gf())
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		sb   superblock.Config
+	}{
+		{"static", statScheme(2)},
+		{"sm_nb", superblock.Config{Scheme: superblock.Dynamic, MaxSize: 2,
+			MergeMode: superblock.ThresholdStatic, BreakMode: superblock.ThresholdStatic,
+			DisableBreak: true, CMerge: 1, CBreak: 1, Window: 1000}},
+		{"am_nb", superblock.Config{Scheme: superblock.Dynamic, MaxSize: 2,
+			MergeMode: superblock.ThresholdAdaptive, BreakMode: superblock.ThresholdAdaptive,
+			DisableBreak: true, CMerge: 1, CBreak: 1, Window: 1000}},
+		{"am_ab", dynScheme()},
+	}
+	for _, v := range variants {
+		rep, err := runSim(withWarmup(z4(withScheme(baseORAM(), v.sb)), ops), gf())
+		if err != nil {
+			return nil, fmt.Errorf("fig6b %s: %w", v.name, err)
+		}
+		t.AddRow(v.name, speedup(base, rep), normAccesses(base, rep))
+	}
+	t.Notes = append(t.Notes,
+		"phase-change synthetic: sequential and random halves swap every ops/8 operations",
+		"sm/am = static/adaptive merge thresholding; nb/ab = no / adaptive breaking")
+	return t, nil
+}
+
+// fig7 sweeps the (maximum) super block size on a 100%-locality synthetic:
+// the static scheme degrades with size (background evictions), the dynamic
+// scheme throttles itself.
+func fig7(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Super block size sweep, 100%-locality synthetic (Z=4)",
+		Columns: []string{"stat_speedup", "dyn_speedup", "stat_norm_acc", "dyn_norm_acc"},
+	}
+	ops := opt.scale(fig7Ops)
+	gf := syntheticFactory(ops, 1.0, 0, opt.Seed)
+	base, err := runSim(withWarmup(z4(baseORAM()), ops), gf())
+	if err != nil {
+		return nil, err
+	}
+	for _, size := range []int{2, 4, 8} {
+		stat, err := runSim(withWarmup(z4(withScheme(baseORAM(), statScheme(size))), ops), gf())
+		if err != nil {
+			return nil, fmt.Errorf("fig7 size=%d: %w", size, err)
+		}
+		dynCfg := dynScheme()
+		dynCfg.MaxSize = size
+		dyn, err := runSim(withWarmup(z4(withScheme(baseORAM(), dynCfg)), ops), gf())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", size),
+			speedup(base, stat), speedup(base, dyn),
+			normAccesses(base, stat), normAccesses(base, dyn))
+	}
+	t.Notes = append(t.Notes, "sbsize is the static merge granularity / dynamic maximum size")
+	return t, nil
+}

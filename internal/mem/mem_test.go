@@ -1,0 +1,57 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeIDRoundTrip(t *testing.T) {
+	check := func(level uint8, index uint64) bool {
+		lvl := int(level % 255)
+		idx := index & ((1 << 56) - 1)
+		id := MakeID(lvl, idx)
+		return id.Level() == lvl && id.Index() == idx && !id.IsNil()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilNeverCollides(t *testing.T) {
+	// Level 255 is reserved, so MakeID can never return Nil.
+	id := MakeID(254, (1<<56)-1)
+	if id.IsNil() {
+		t.Fatal("MakeID(254, max) collided with Nil")
+	}
+}
+
+func TestMakeIDPanics(t *testing.T) {
+	for _, tc := range []struct {
+		level int
+		index uint64
+	}{{255, 0}, {-1, 0}, {0, 1 << 56}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeID(%d, %d) did not panic", tc.level, tc.index)
+				}
+			}()
+			MakeID(tc.level, tc.index)
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := MakeID(1, 42).String(); got != "blk<L1:42>" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := Nil.String(); got != "blk<nil>" {
+		t.Fatalf("Nil.String() = %q", got)
+	}
+}
+
+func TestDistinctLevelsDistinctIDs(t *testing.T) {
+	if MakeID(0, 7) == MakeID(1, 7) {
+		t.Fatal("same index at different levels produced equal IDs")
+	}
+}

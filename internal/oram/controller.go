@@ -1,0 +1,388 @@
+package oram
+
+import (
+	"fmt"
+
+	"proram/internal/mem"
+	"proram/internal/posmap"
+	"proram/internal/rng"
+	"proram/internal/stash"
+	"proram/internal/superblock"
+	"proram/internal/tree"
+)
+
+// CacheProber lets the controller ask the processor's LLC whether a data
+// block is currently cached. The merge algorithm (paper Algorithm 1) probes
+// the LLC tag array for every block of the neighbor super block; the probe
+// is off the critical path and free in the timing model (§4.5.2).
+type CacheProber interface {
+	// Present reports whether the data block with the given index is in
+	// the LLC.
+	Present(index uint64) bool
+}
+
+// Controller is the trusted Path ORAM controller. It is not safe for
+// concurrent use; the simulator drives it from a single goroutine, exactly
+// like the single memory controller in the paper's target system.
+type Controller struct {
+	cfg    Config
+	policy *superblock.Policy
+	tr     *tree.Tree
+	st     *stash.Stash
+	pm     *posmap.Hierarchy
+	plb    *posmap.PLB
+	rnd    *rng.Source
+	prober CacheProber
+
+	pathLat uint64
+	lastEnd uint64
+
+	// hitBits holds the per-data-block hit bit: whether the block's last
+	// prefetch was used (paper §4.3). Keyed by data index; absent = false.
+	hitBits map[uint64]bool
+
+	stats Stats
+	trace []TraceEvent
+	dyn   dynOint
+
+	// Adaptive-thresholding observation window (§4.4.2).
+	winRequests int
+	winBgEvicts uint64
+	winHits     uint64
+	winIssued   uint64
+	winBusy     uint64
+	winStart    uint64
+
+	scratch []mem.BlockID // reusable path-read buffer
+	chain   []uint64      // reusable recursion-index buffer
+}
+
+// New builds a controller. The tree is sized to hold the data blocks plus
+// every position-map level (Unified ORAM: one tree for everything).
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pm, err := posmap.New(posmap.Config{
+		NumBlocks: cfg.NumBlocks,
+		Fanout:    cfg.Fanout,
+		OnChipMax: cfg.OnChipEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	levels := cfg.TreeLevels(pm.TotalBlocks())
+	c := &Controller{
+		cfg:     cfg,
+		policy:  superblock.New(cfg.Super),
+		tr:      tree.New(levels, cfg.Z),
+		st:      stash.New(cfg.StashLimit),
+		pm:      pm,
+		plb:     posmap.NewPLB(cfg.PLBBlocks),
+		rnd:     rng.New(cfg.Seed),
+		hitBits: make(map[uint64]bool),
+	}
+	c.pathLat = cfg.PathLatency(levels)
+	c.initDynOint()
+	if cfg.Prefill {
+		c.prefill()
+	}
+	return c, nil
+}
+
+// SetProber installs the LLC probe used by the merge algorithm. A nil
+// prober makes every probe miss (merging then never triggers).
+func (c *Controller) SetProber(p CacheProber) { c.prober = p }
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// TreeLevels returns the depth of the instantiated tree.
+func (c *Controller) TreeLevels() int { return c.tr.Levels() }
+
+// PathLatency returns the per-path-access latency in cycles.
+func (c *Controller) PathLatency() uint64 { return c.pathLat }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.StashHighWater = c.st.HighWater()
+	s.PLBHits = c.plb.Hits()
+	s.PLBMisses = c.plb.Misses()
+	s.LastEnd = c.lastEnd
+	s.OintTransitions = c.dyn.transitions
+	return s
+}
+
+// Trace returns the recorded physical access trace (RecordTrace only).
+func (c *Controller) Trace() []TraceEvent { return c.trace }
+
+// randLeaf draws a fresh uniform leaf label.
+func (c *Controller) randLeaf() mem.Leaf {
+	return mem.Leaf(c.rnd.Uint64n(c.tr.Leaves()))
+}
+
+// leafOf returns the current mapping of any block, consulting the on-chip
+// table for top-level position-map blocks and parent entries otherwise.
+func (c *Controller) leafOf(id mem.BlockID) mem.Leaf {
+	if id.Level() == c.pm.Depth() {
+		return c.pm.TopLeaf(id.Index())
+	}
+	return c.pm.EntryFor(id.Level(), id.Index()).Leaf
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// scheduleStart returns the start time of the next path access given that
+// the request is ready at `ready`. In periodic mode it first issues the
+// dummy accesses the public schedule demands for the idle gap and then
+// returns the next slot; otherwise the access starts as soon as both the
+// request and the controller are ready.
+func (c *Controller) scheduleStart(ready uint64) uint64 {
+	if !c.cfg.Periodic {
+		return maxU64(ready, c.lastEnd)
+	}
+	for c.lastEnd+c.currentOint() < ready {
+		slot := c.lastEnd + c.currentOint()
+		c.stats.DummyAccesses++
+		c.observeScheduled(true)
+		c.rawPathAccess(slot, c.randLeaf(), KindPeriodicDummy, nil)
+	}
+	c.observeScheduled(false)
+	return c.lastEnd + c.currentOint()
+}
+
+// rawPathAccess performs one full path read+write at the given leaf: all
+// real blocks on the path move to the stash, the optional during callback
+// runs while everything is on-chip (this is where remaps and the super
+// block algorithms act), and the stash is then greedily written back onto
+// the same path. Returns the completion cycle.
+func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind, during func()) uint64 {
+	end := start + c.pathLat
+	c.lastEnd = end
+	c.stats.PathAccesses++
+	c.stats.BusyCycles += c.pathLat
+	c.winBusy += c.pathLat
+	c.stats.BytesMoved += 2 * c.tr.PathBytes(c.cfg.BlockBytes)
+	switch kind {
+	case KindData:
+		c.stats.DataPaths++
+	case KindWriteback:
+		c.stats.WritebackPaths++
+	case KindPosMap:
+		c.stats.PosMapPaths++
+	case KindPLBWriteback:
+		c.stats.PLBWritebackPaths++
+	case KindBackgroundEvict:
+		c.stats.BackgroundEvictions++
+		c.winBgEvicts++
+	case KindPeriodicDummy:
+		// counted by the caller
+	}
+	if c.cfg.RecordTrace {
+		c.trace = append(c.trace, TraceEvent{Leaf: uint64(leaf), Start: start, Kind: kind})
+	}
+
+	c.scratch = c.tr.RemovePath(leaf, c.scratch[:0])
+	for _, id := range c.scratch {
+		c.st.Add(id, c.leafOf(id))
+	}
+	if during != nil {
+		during()
+	}
+	c.st.EvictToPath(c.tr, leaf)
+	return end
+}
+
+// backgroundEvictions drains stash pressure with dummy accesses: random
+// path read+writes with no remapping, after which stash occupancy cannot
+// have grown (§2.4). Returns the number issued.
+func (c *Controller) backgroundEvictions() int {
+	n := 0
+	noProgress := 0
+	for c.st.OverLimit() {
+		before := c.st.Size()
+		start := c.scheduleStart(c.lastEnd)
+		c.rawPathAccess(start, c.randLeaf(), KindBackgroundEvict, nil)
+		n++
+		if c.st.Size() < before {
+			noProgress = 0
+		} else if noProgress++; noProgress > 64 {
+			// Saturated configurations (e.g. static super blocks of 8 at
+			// high utilization) can pin the stash above its limit for a
+			// while; give the demand stream a turn and keep churning on
+			// later requests rather than spinning forever. The paid
+			// accesses are already accounted — this is the pathological
+			// slowdown the paper's Figure 7 shows for large static sizes.
+			break
+		}
+		if n > 100_000 {
+			panic(fmt.Sprintf("oram: background eviction runaway (stash %d/%d)", c.st.Size(), c.st.Limit()))
+		}
+	}
+	return n
+}
+
+// accessPosMapBlock performs one recursion-level path access: remap the
+// position-map block, read its old path, write back. kind distinguishes
+// recursion walks from PLB victim write-backs for accounting.
+func (c *Controller) accessPosMapBlock(ready uint64, id mem.BlockID, kind AccessKind) {
+	// Resolve the schedule first: in periodic mode this issues catch-up
+	// dummy accesses, which move blocks around and must therefore observe
+	// the pre-remap position map.
+	start := c.scheduleStart(maxU64(ready, c.lastEnd))
+	level, index := id.Level(), id.Index()
+	newLeaf := c.randLeaf()
+	var oldLeaf mem.Leaf
+	if level == c.pm.Depth() {
+		oldLeaf = c.pm.TopLeaf(index)
+		c.pm.SetTopLeaf(index, newLeaf)
+	} else {
+		e := c.pm.EntryFor(level, index)
+		oldLeaf = e.Leaf
+		e.Leaf = newLeaf
+		parentIdx, _ := c.pm.Parent(level, index)
+		c.plb.MarkDirty(mem.MakeID(level+1, parentIdx))
+	}
+	isNew := oldLeaf == mem.NoLeaf
+	readLeaf := oldLeaf
+	if isNew {
+		readLeaf = newLeaf
+	}
+	c.rawPathAccess(start, readLeaf, kind, func() {
+		switch {
+		case c.st.Contains(id):
+			c.st.SetLeaf(id, newLeaf)
+		case isNew:
+			c.st.Add(id, newLeaf)
+		default:
+			panic(fmt.Sprintf("oram: position-map block %v not found on path %d", id, readLeaf))
+		}
+	})
+}
+
+// Read serves an LLC demand miss for the data block at index, arriving at
+// cycle now. Write serves a dirty LLC eviction. Both perform the full
+// recursive access; only Read returns prefetched siblings and exercises
+// the merge/break algorithms.
+func (c *Controller) Read(now uint64, index uint64) Result {
+	return c.access(now, index, false)
+}
+
+// Write writes back a dirty data block evicted from the LLC.
+func (c *Controller) Write(now uint64, index uint64) Result {
+	return c.access(now, index, true)
+}
+
+func (c *Controller) access(now uint64, index uint64, wb bool) Result {
+	if index >= c.cfg.NumBlocks {
+		panic(fmt.Sprintf("oram: block index %d out of range (%d blocks)", index, c.cfg.NumBlocks))
+	}
+	pathsBefore := c.stats.PathAccesses
+	if wb {
+		c.stats.Writebacks++
+	} else {
+		c.stats.DemandReads++
+	}
+
+	// Recursion walk: find the deepest position-map level cached in the
+	// PLB, then access every level below it, top-down (§2.3, Unified ORAM).
+	depth := c.pm.Depth()
+	c.chain = c.chain[:0]
+	idx := index
+	for l := 0; l <= depth; l++ {
+		c.chain = append(c.chain, idx)
+		idx /= uint64(c.cfg.Fanout)
+	}
+	startLvl := depth + 1 // no PLB hit: start from the on-chip table
+	for l := 1; l <= depth; l++ {
+		if c.plb.Lookup(mem.MakeID(l, c.chain[l])) {
+			startLvl = l
+			break
+		}
+	}
+	for l := startLvl - 1; l >= 1; l-- {
+		id := mem.MakeID(l, c.chain[l])
+		c.accessPosMapBlock(now, id, KindPosMap)
+		if victim, dirty, ok := c.plb.Insert(id); ok && dirty {
+			c.accessPosMapBlock(c.lastEnd, victim, KindPLBWriteback)
+		}
+	}
+
+	// Data access.
+	done, prefetched := c.dataAccess(now, index, wb)
+
+	// Stash pressure.
+	c.backgroundEvictions()
+
+	// Observation window for adaptive thresholding (§4.4.2).
+	c.winRequests++
+	if c.policy.Scheme() == superblock.Dynamic && c.winRequests >= c.cfg.Super.Window {
+		c.rollWindow()
+	}
+
+	return Result{
+		Done:       done,
+		Prefetched: prefetched,
+		PathCount:  int(c.stats.PathAccesses - pathsBefore),
+	}
+}
+
+// rollWindow recomputes the Equation 1 rates from the finished window and
+// resets the counters.
+func (c *Controller) rollWindow() {
+	elapsed := c.lastEnd - c.winStart
+	if elapsed == 0 {
+		elapsed = 1
+	}
+	// Prefetch accuracy is measured as hits per issued prefetch: issues
+	// register immediately, so a burst of inaccurate merging is visible in
+	// the very next window instead of only after the LLC churns the
+	// useless lines out.
+	hitRate := -1.0 // no prefetch activity: keep the previous estimate
+	if c.winIssued > 0 {
+		hitRate = float64(c.winHits) / float64(c.winIssued)
+		if hitRate > 1 {
+			hitRate = 1
+		}
+	}
+	c.policy.UpdateRates(superblock.Rates{
+		EvictionRate:    float64(c.winBgEvicts) / float64(c.winRequests),
+		AccessRate:      float64(c.winBusy) / float64(elapsed),
+		PrefetchHitRate: hitRate,
+	})
+	c.winRequests = 0
+	c.winBgEvicts = 0
+	c.winHits = 0
+	c.winIssued = 0
+	c.winBusy = 0
+	c.winStart = c.lastEnd
+}
+
+// NotifyPrefetchUse records that a prefetched block was hit in the LLC:
+// the block's hit bit is set (paper: "In Processor: when block b is
+// accessed, b.hit = true") and the prefetch counts as a hit.
+func (c *Controller) NotifyPrefetchUse(index uint64) {
+	if c.hitBits[index] {
+		return
+	}
+	c.hitBits[index] = true
+	c.stats.PrefetchHits++
+	c.winHits++
+}
+
+// NotifyPrefetchEvict records that a prefetched block left the LLC without
+// ever being used — a resolved prefetch miss for the Figure 9 metric and
+// the Equation 1 hit-rate window.
+func (c *Controller) NotifyPrefetchEvict(index uint64) {
+	c.stats.PrefetchUnused++
+}
+
+// PosMapDepth returns the number of position-map levels above the data
+// (the paper's hierarchy count minus one).
+func (c *Controller) PosMapDepth() int { return c.pm.Depth() }

@@ -1,0 +1,281 @@
+package oram
+
+import (
+	"fmt"
+
+	"proram/internal/mem"
+	"proram/internal/posmap"
+	"proram/internal/superblock"
+)
+
+// dataAccess performs the data-tree path access for the requested block,
+// including the super block mechanics: the whole super block is loaded and
+// remapped together, the break algorithm (Algorithm 2) and merge algorithm
+// (Algorithm 1) run while everything is on-chip, and the non-demand
+// members are returned as prefetches.
+//
+// It returns the completion cycle and the prefetched sibling indices.
+func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []uint64) {
+	fanout := uint64(c.cfg.Fanout)
+	// Resolve the schedule first: periodic catch-up dummies must run
+	// against the pre-remap position map (they relocate blocks).
+	start := c.scheduleStart(maxU64(ready, c.lastEnd))
+	pbIdx := index / fanout
+	slot := int(index % fanout)
+	pb := c.pm.Block(1, pbIdx)
+	// Remapping children dirties the level-1 block wherever it is cached.
+	c.plb.MarkDirty(pb.ID())
+
+	e := &pb.Entries[slot]
+	isNew := e.Leaf == mem.NoLeaf
+	n := int(e.SBSize)
+	if isNew {
+		n = 1
+		if c.policy.Scheme() == superblock.Static {
+			// The static scheme merges aligned groups at initialization
+			// (§3.3); first touch initializes the whole group.
+			n = c.staticGroupSize(pb, slot)
+		}
+	}
+	gStart := posmap.GroupStart(slot, n)
+	oldLeaf := e.Leaf
+	newLeaf := c.randLeaf()
+
+	// Remap the whole super block to one fresh leaf (steps 4 of §2.2
+	// generalized to super blocks, §3.2).
+	for i := gStart; i < gStart+n; i++ {
+		ge := &pb.Entries[i]
+		ge.Leaf = newLeaf
+		ge.SBSize = uint8(n)
+	}
+
+	readLeaf := oldLeaf
+	if isNew {
+		readLeaf = newLeaf
+	}
+	kind := KindData
+	if wb {
+		kind = KindWriteback
+	}
+
+	var prefetched []uint64
+	done := c.rawPathAccess(start, readLeaf, kind, func() {
+		// Gather: every member is now on-chip (path read moved tree
+		// residents to the stash; the rest were already stashed).
+		for i := gStart; i < gStart+n; i++ {
+			id := mem.MakeID(0, pbIdx*fanout+uint64(i))
+			switch {
+			case c.st.Contains(id):
+				c.st.SetLeaf(id, newLeaf)
+			case isNew:
+				c.st.Add(id, newLeaf)
+			default:
+				panic(fmt.Sprintf("oram: super block member %v missing from path %d and stash", id, readLeaf))
+			}
+		}
+
+		// Algorithm 2: fold prefetch outcomes into the break counter and
+		// possibly break the super block. Break operations "may happen
+		// when super blocks are accessed in the ORAM" (§4.3) — that
+		// includes write-back accesses, which keeps stale super blocks
+		// from lingering on write-heavy patterns.
+		cur := group{pb: pb, pbIdx: pbIdx, start: gStart, size: n}
+		if c.policy.Scheme() == superblock.Dynamic && n >= 2 {
+			raw := c.breakUpdate(cur)
+			if c.policy.ShouldBreak(raw, n) {
+				cur = c.breakGroup(cur, slot, newLeaf)
+			}
+		} else if !wb && n == 1 && e.Prefetch {
+			// A singleton demand miss on a previously prefetched block:
+			// the prefetch went unused (a used copy would have hit in the
+			// LLC instead of reaching the ORAM).
+			e.Prefetch = false
+			delete(c.hitBits, index)
+			c.stats.ReloadedUnused++
+		}
+
+		if wb {
+			// Write-backs remap (and possibly break) but never merge or
+			// prefetch: nothing returns to the LLC.
+			return
+		}
+
+		// Algorithm 1: merge check against the neighbor super block. A
+		// merge does not change what is returned this access: the
+		// neighbor's members are already in the LLC (that is the merge
+		// condition), so only the pre-merge group travels to the cache.
+		if c.policy.Scheme() == superblock.Dynamic {
+			c.mergeCheck(cur)
+		}
+
+		// Return the super block: the demand block plus prefetched
+		// siblings with prefetch bits set and hit bits cleared.
+		for i := cur.start; i < cur.start+cur.size; i++ {
+			gi := pbIdx*fanout + uint64(i)
+			if i == slot {
+				continue
+			}
+			pb.Entries[i].Prefetch = true
+			delete(c.hitBits, gi)
+			c.stats.PrefetchIssued++
+			c.winIssued++
+			prefetched = append(prefetched, gi)
+		}
+	})
+	return done, prefetched
+}
+
+// group identifies a super block within one level-1 position-map block.
+type group struct {
+	pb    *posmap.Block
+	pbIdx uint64
+	start int // child offset of the first member
+	size  int // number of members (power of two)
+}
+
+// staticGroupSize returns the static scheme's merge granularity for the
+// group containing slot: the configured size, shrunk if the group would
+// fall off the end of a partial position-map block.
+func (c *Controller) staticGroupSize(pb *posmap.Block, slot int) int {
+	n := c.policy.MaxSize()
+	for n > 1 && posmap.GroupStart(slot, n)+n > len(pb.Entries) {
+		n /= 2
+	}
+	return n
+}
+
+// breakUpdate implements the counter phase of Algorithm 2: every member's
+// prefetch/hit bits are folded into the break counter (hit: +1, miss: -1)
+// and cleared. It returns the raw (unclamped) counter value.
+func (c *Controller) breakUpdate(g group) int {
+	raw := int(g.pb.BreakCounter(g.start))
+	for i := g.start; i < g.start+g.size; i++ {
+		ge := &g.pb.Entries[i]
+		if !ge.Prefetch {
+			continue
+		}
+		gi := g.pbIdx*uint64(c.cfg.Fanout) + uint64(i)
+		if c.hitBits[gi] {
+			raw++
+			c.stats.ReloadedUsed++
+		} else {
+			raw--
+			c.stats.ReloadedUnused++
+		}
+		ge.Prefetch = false
+		delete(c.hitBits, gi)
+	}
+	stored := raw
+	if stored < 0 {
+		stored = 0
+	}
+	if stored > 255 {
+		stored = 255
+	}
+	g.pb.SetBreakCounter(g.start, uint8(stored))
+	return raw
+}
+
+// breakGroup implements the break phase of Algorithm 2: the super block
+// splits into two halves mapped to independent fresh leaves; the half
+// containing the demand block keeps the leaf chosen for this access. It
+// returns the demand half.
+func (c *Controller) breakGroup(g group, slot int, keepLeaf mem.Leaf) group {
+	half := g.size / 2
+	otherLeaf := c.randLeaf()
+	lowerHasSlot := slot < g.start+half
+	for i := g.start; i < g.start+g.size; i++ {
+		ge := &g.pb.Entries[i]
+		ge.SBSize = uint8(half)
+		inLower := i < g.start+half
+		leaf := keepLeaf
+		if inLower != lowerHasSlot {
+			leaf = otherLeaf
+		}
+		ge.Leaf = leaf
+		id := mem.MakeID(0, g.pbIdx*uint64(c.cfg.Fanout)+uint64(i))
+		if !c.st.SetLeaf(id, leaf) {
+			panic(fmt.Sprintf("oram: breaking super block but member %v not stashed", id))
+		}
+	}
+	// Reconstruct counters for the new granularity: the intra-pair merge
+	// counter restarts at zero, and each half that is still a super block
+	// gets a fresh break counter.
+	g.pb.ResetMergeCounter(g.start)
+	init := uint8(0)
+	if half >= 2 {
+		init = c.policy.BreakInitial(half)
+	}
+	g.pb.SetBreakCounter(g.start, init)
+	g.pb.SetBreakCounter(g.start+half, init)
+	c.stats.Breaks++
+
+	ret := group{pb: g.pb, pbIdx: g.pbIdx, start: g.start, size: half}
+	if !lowerHasSlot {
+		ret.start = g.start + half
+	}
+	return ret
+}
+
+// mergeCheck implements Algorithm 1: if every block of the neighbor super
+// block is in the LLC, the merge counter increments (else decrements), and
+// on reaching the threshold the accessed super block B adopts the
+// neighbor's position ("changing the position map of B to the position map
+// of B'"), forming a super block of twice the size.
+func (c *Controller) mergeCheck(g group) {
+	n := g.size
+	if 2*n > c.policy.MaxSize() {
+		return
+	}
+	nb := posmap.NeighborStart(g.start, n)
+	if nb+n > len(g.pb.Entries) {
+		return
+	}
+	// The neighbor must currently be a same-size, already-touched group.
+	for i := nb; i < nb+n; i++ {
+		ge := &g.pb.Entries[i]
+		if int(ge.SBSize) != n || ge.Leaf == mem.NoLeaf {
+			return
+		}
+	}
+	allInLLC := c.prober != nil
+	if allInLLC {
+		for i := nb; i < nb+n; i++ {
+			if !c.prober.Present(g.pbIdx*uint64(c.cfg.Fanout) + uint64(i)) {
+				allInLLC = false
+				break
+			}
+		}
+	}
+	pair := posmap.PairStart(g.start, n)
+	if !allInLLC {
+		g.pb.AddMergeCounter(pair, -1)
+		return
+	}
+	ctr := g.pb.AddMergeCounter(pair, +1)
+	if !c.policy.ShouldMerge(ctr, n) {
+		return
+	}
+
+	// Merge: B adopts B''s leaf. B's members are all in the stash right
+	// now, so remapping them is safe; B''s ORAM-resident copies keep their
+	// existing (shared) leaf, preserving the path invariant.
+	neighborLeaf := g.pb.Entries[nb].Leaf
+	for i := g.start; i < g.start+n; i++ {
+		g.pb.Entries[i].Leaf = neighborLeaf
+		id := mem.MakeID(0, g.pbIdx*uint64(c.cfg.Fanout)+uint64(i))
+		if !c.st.SetLeaf(id, neighborLeaf) {
+			panic(fmt.Sprintf("oram: merging super block but member %v not stashed", id))
+		}
+	}
+	merged := group{pb: g.pb, pbIdx: g.pbIdx, start: pair, size: 2 * n}
+	for i := merged.start; i < merged.start+merged.size; i++ {
+		g.pb.Entries[i].SBSize = uint8(merged.size)
+	}
+	// Reconstruct counters for the new granularity.
+	g.pb.ResetMergeCounter(pair)
+	g.pb.ResetMergeCounter(g.start)
+	g.pb.ResetMergeCounter(nb)
+	g.pb.SetBreakCounter(merged.start, c.policy.BreakInitial(merged.size))
+	c.stats.Merges++
+}

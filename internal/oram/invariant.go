@@ -1,0 +1,122 @@
+package oram
+
+import (
+	"fmt"
+
+	"proram/internal/mem"
+	"proram/internal/posmap"
+)
+
+// CheckInvariant verifies the Path ORAM and super block invariants over
+// the whole functional state:
+//
+//  1. Every block in the tree lies on the path of the leaf it is mapped to.
+//  2. No block is resident in both the tree and the stash.
+//  3. Every touched block (assigned leaf) is resident exactly once.
+//  4. No bucket holds more than Z blocks.
+//  5. All members of a super block share one leaf and one size, and the
+//     group is correctly aligned.
+//
+// It is O(total blocks) and intended for tests on small configurations.
+func (c *Controller) CheckInvariant() error {
+	inTree := make(map[mem.BlockID]bool)
+	var err error
+	c.tr.ForEach(func(node uint64, id mem.BlockID) {
+		if err != nil {
+			return
+		}
+		if inTree[id] {
+			err = fmt.Errorf("block %v present twice in the tree", id)
+			return
+		}
+		inTree[id] = true
+		leaf := c.leafOf(id)
+		if leaf == mem.NoLeaf {
+			err = fmt.Errorf("tree holds untouched block %v", id)
+			return
+		}
+		if !c.tr.Contains(leaf, id) {
+			err = fmt.Errorf("block %v mapped to leaf %d is off its path", id, leaf)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for node := uint64(1); node <= c.tr.Buckets(); node++ {
+		if n := c.tr.BucketCount(node); n > c.cfg.Z {
+			return fmt.Errorf("bucket %d holds %d > Z=%d blocks", node, n, c.cfg.Z)
+		}
+	}
+	inStash := make(map[mem.BlockID]bool)
+	c.st.ForEach(func(id mem.BlockID, leaf mem.Leaf) {
+		if err != nil {
+			return
+		}
+		inStash[id] = true
+		if inTree[id] {
+			err = fmt.Errorf("block %v resident in both tree and stash", id)
+			return
+		}
+		if got := c.leafOf(id); got != leaf {
+			err = fmt.Errorf("block %v stash leaf %d disagrees with position map %d", id, leaf, got)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// Residency and super block grouping for data blocks.
+	fanout := uint64(c.cfg.Fanout)
+	for pbIdx := uint64(0); pbIdx < c.pm.Count(1); pbIdx++ {
+		pb := c.pm.Block(1, pbIdx)
+		for s := 0; s < len(pb.Entries); s++ {
+			e := pb.Entries[s]
+			id := mem.MakeID(0, pbIdx*fanout+uint64(s))
+			if e.Leaf == mem.NoLeaf {
+				if inTree[id] || inStash[id] {
+					return fmt.Errorf("untouched block %v is resident", id)
+				}
+				continue
+			}
+			if !inTree[id] && !inStash[id] {
+				return fmt.Errorf("touched block %v (leaf %d) is nowhere", id, e.Leaf)
+			}
+			n := int(e.SBSize)
+			if n < 1 || n&(n-1) != 0 {
+				return fmt.Errorf("block %v has bad super block size %d", id, n)
+			}
+			g := posmap.GroupStart(s, n)
+			if g+n > len(pb.Entries) {
+				return fmt.Errorf("block %v group [%d,%d) overflows its pos-map block", id, g, g+n)
+			}
+			for i := g; i < g+n; i++ {
+				m := pb.Entries[i]
+				if m.Leaf != e.Leaf || m.SBSize != e.SBSize {
+					return fmt.Errorf("super block of %v inconsistent at offset %d: leaf %d/%d size %d/%d",
+						id, i, m.Leaf, e.Leaf, m.SBSize, e.SBSize)
+				}
+			}
+		}
+	}
+
+	// Residency for position-map blocks.
+	for level := 1; level <= c.pm.Depth(); level++ {
+		for i := uint64(0); i < c.pm.Count(level); i++ {
+			id := mem.MakeID(level, i)
+			leaf := c.leafOf(id)
+			if leaf == mem.NoLeaf {
+				if inTree[id] || inStash[id] {
+					return fmt.Errorf("untouched pos-map block %v is resident", id)
+				}
+				continue
+			}
+			if !inTree[id] && !inStash[id] {
+				return fmt.Errorf("touched pos-map block %v (leaf %d) is nowhere", id, leaf)
+			}
+		}
+	}
+	return nil
+}
+
+// StashSize exposes the current stash occupancy for tests and reporting.
+func (c *Controller) StashSize() int { return c.st.Size() }

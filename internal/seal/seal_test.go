@@ -1,0 +1,124 @@
+package seal
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func TestRoundTrip(t *testing.T) {
+	s, err := New(testKey, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	sealed, err := s.Seal(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != SealedSize(len(msg)) {
+		t.Fatalf("sealed size %d, want %d", len(sealed), SealedSize(len(msg)))
+	}
+	opened, err := s.Open(nil, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened, msg) {
+		t.Fatalf("round trip lost data: %q", opened)
+	}
+}
+
+func TestProbabilistic(t *testing.T) {
+	// Sealing the same plaintext twice must yield different ciphertexts —
+	// the property Path ORAM needs so rewritten paths are unlinkable.
+	s, err := New(testKey, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 128)
+	a, _ := s.Seal(nil, msg)
+	b, _ := s.Seal(nil, msg)
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same block are identical")
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	s, err := New(testKey, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte{0xAA}, 128)
+	sealed, _ := s.Seal(nil, msg)
+	if bytes.Contains(sealed, msg[:16]) {
+		t.Fatal("plaintext visible in ciphertext")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s, err := New(testKey, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(msg []byte) bool {
+		sealed, err := s.Seal(nil, msg)
+		if err != nil {
+			return false
+		}
+		opened, err := s.Open(nil, sealed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(opened, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := New([]byte("short"), rand.Reader); err == nil {
+		t.Fatal("bad key accepted")
+	}
+	if _, err := New(testKey, nil); err == nil {
+		t.Fatal("nil nonce source accepted")
+	}
+	s, _ := New(testKey, rand.Reader)
+	if _, err := s.Open(nil, []byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated block opened")
+	}
+}
+
+func TestAppendSemantics(t *testing.T) {
+	s, _ := New(testKey, rand.Reader)
+	prefix := []byte("prefix")
+	sealed, _ := s.Seal(append([]byte(nil), prefix...), []byte("data"))
+	if !bytes.HasPrefix(sealed, prefix) {
+		t.Fatal("Seal clobbered dst prefix")
+	}
+	opened, err := s.Open(append([]byte(nil), prefix...), sealed[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened, append(prefix, []byte("data")...)) {
+		t.Fatalf("Open append semantics broken: %q", opened)
+	}
+}
+
+func TestEmptyPlaintext(t *testing.T) {
+	s, _ := New(testKey, rand.Reader)
+	sealed, err := s.Seal(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := s.Open(nil, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opened) != 0 {
+		t.Fatalf("empty round trip produced %d bytes", len(opened))
+	}
+}

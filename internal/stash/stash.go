@@ -1,0 +1,184 @@
+// Package stash implements the Path ORAM stash: the small trusted memory
+// that temporarily holds blocks between the path-read and write-back
+// phases of an access, plus the greedy leaf-to-root write-back algorithm
+// (step 5 of the protocol).
+//
+// The stash is deliberately deterministic: iteration follows insertion
+// order (never Go map order), so identical access sequences produce
+// identical evictions and the whole simulator is reproducible.
+package stash
+
+import (
+	"fmt"
+
+	"proram/internal/mem"
+	"proram/internal/tree"
+)
+
+// entry is one stashed block with the leaf it is currently mapped to.
+type entry struct {
+	id   mem.BlockID
+	leaf mem.Leaf
+}
+
+// Stash holds blocks that could not yet be written back to the tree. The
+// zero value is unusable; construct with New.
+type Stash struct {
+	order     []entry             // insertion-ordered; tombstoned by map removal
+	index     map[mem.BlockID]int // id -> position in order
+	limit     int                 // configured capacity (soft: triggers background eviction)
+	highWater int                 // max observed size
+	scratch   [][]mem.BlockID     // reusable depth buckets for eviction
+	carry     []mem.BlockID       // reusable carry list
+}
+
+// New returns an empty stash with the given soft capacity limit.
+func New(limit int) *Stash {
+	if limit < 1 {
+		panic(fmt.Sprintf("stash: limit %d must be positive", limit))
+	}
+	return &Stash{
+		index: make(map[mem.BlockID]int),
+		limit: limit,
+	}
+}
+
+// Limit returns the configured soft capacity.
+func (s *Stash) Limit() int { return s.limit }
+
+// Size returns the number of blocks currently stashed.
+func (s *Stash) Size() int { return len(s.index) }
+
+// HighWater returns the maximum size ever observed.
+func (s *Stash) HighWater() int { return s.highWater }
+
+// OverLimit reports whether the stash currently exceeds its soft capacity,
+// i.e. whether the controller must issue background evictions.
+func (s *Stash) OverLimit() bool { return len(s.index) > s.limit }
+
+// Add inserts a block mapped to leaf. Adding an already-present block is a
+// programming error and panics.
+func (s *Stash) Add(id mem.BlockID, leaf mem.Leaf) {
+	if id.IsNil() {
+		panic("stash: Add with nil block")
+	}
+	if _, ok := s.index[id]; ok {
+		panic(fmt.Sprintf("stash: duplicate add of %v", id))
+	}
+	s.index[id] = len(s.order)
+	s.order = append(s.order, entry{id: id, leaf: leaf})
+	if len(s.index) > s.highWater {
+		s.highWater = len(s.index)
+	}
+}
+
+// Contains reports whether id is stashed.
+func (s *Stash) Contains(id mem.BlockID) bool {
+	_, ok := s.index[id]
+	return ok
+}
+
+// Leaf returns the leaf a stashed block is mapped to.
+func (s *Stash) Leaf(id mem.BlockID) (mem.Leaf, bool) {
+	pos, ok := s.index[id]
+	if !ok {
+		return 0, false
+	}
+	return s.order[pos].leaf, true
+}
+
+// SetLeaf remaps a stashed block to a new leaf. It reports whether the
+// block was present.
+func (s *Stash) SetLeaf(id mem.BlockID, leaf mem.Leaf) bool {
+	pos, ok := s.index[id]
+	if !ok {
+		return false
+	}
+	s.order[pos].leaf = leaf
+	return true
+}
+
+// Remove deletes a block from the stash, reporting whether it was present.
+func (s *Stash) Remove(id mem.BlockID) bool {
+	pos, ok := s.index[id]
+	if !ok {
+		return false
+	}
+	delete(s.index, id)
+	s.order[pos].id = mem.Nil // tombstone; compact lazily
+	s.maybeCompact()
+	return true
+}
+
+// maybeCompact rebuilds the order slice when tombstones dominate, so the
+// slice stays O(live entries) without changing iteration order.
+func (s *Stash) maybeCompact() {
+	if len(s.order) < 64 || len(s.order) < 2*len(s.index) {
+		return
+	}
+	live := s.order[:0]
+	for _, e := range s.order {
+		if !e.id.IsNil() {
+			s.index[e.id] = len(live)
+			live = append(live, e)
+		}
+	}
+	s.order = live
+}
+
+// ForEach visits every stashed block in insertion order.
+func (s *Stash) ForEach(visit func(id mem.BlockID, leaf mem.Leaf)) {
+	for _, e := range s.order {
+		if !e.id.IsNil() {
+			visit(e.id, e.leaf)
+		}
+	}
+}
+
+// EvictToPath greedily writes stashed blocks back onto the path to
+// accessLeaf, filling buckets from the leaf up (deepest legal bucket
+// first), exactly as in Path ORAM's write-back phase. A block mapped to
+// leaf b may go into the bucket at depth d on the access path iff the two
+// paths share that bucket, i.e. d <= CommonDepth(accessLeaf, b).
+//
+// It returns the number of blocks written back.
+func (s *Stash) EvictToPath(t *tree.Tree, accessLeaf mem.Leaf) int {
+	levels := t.Levels()
+	// Group live entries by the deepest depth they may occupy on this path.
+	if cap(s.scratch) < levels+1 {
+		s.scratch = make([][]mem.BlockID, levels+1)
+	}
+	groups := s.scratch[:levels+1]
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	for _, e := range s.order {
+		if e.id.IsNil() {
+			continue
+		}
+		d := t.CommonDepth(accessLeaf, e.leaf)
+		groups[d] = append(groups[d], e.id)
+	}
+
+	placed := 0
+	carry := s.carry[:0]
+	for depth := levels; depth >= 0; depth-- {
+		carry = append(carry, groups[depth]...)
+		free := t.FreeAt(accessLeaf, depth)
+		for free > 0 && len(carry) > 0 {
+			id := carry[0]
+			carry = carry[1:]
+			if !t.PlaceAt(accessLeaf, depth, id) {
+				panic("stash: tree rejected placement into bucket with free slots")
+			}
+			pos := s.index[id]
+			delete(s.index, id)
+			s.order[pos].id = mem.Nil
+			placed++
+			free--
+		}
+	}
+	s.carry = carry[:0]
+	s.maybeCompact()
+	return placed
+}

@@ -1,0 +1,189 @@
+package superblock
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Scheme: Dynamic, MaxSize: 3, CMerge: 1, CBreak: 1, Window: 1000},
+		{Scheme: Dynamic, MaxSize: 0, CMerge: 1, CBreak: 1, Window: 1000},
+		{Scheme: Dynamic, MaxSize: 2, CMerge: 0, CBreak: 1, Window: 1000},
+		{Scheme: Dynamic, MaxSize: 2, CMerge: 1, CBreak: -1, Window: 1000},
+		{Scheme: Dynamic, MaxSize: 2, CMerge: 1, CBreak: 1, Window: 0},
+		{Scheme: Static, MaxSize: 5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	// None scheme needs no further fields.
+	if err := (Config{Scheme: None}).Validate(); err != nil {
+		t.Errorf("None scheme rejected: %v", err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if None.String() != "none" || Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Fatal("Scheme.String mismatch")
+	}
+	if ThresholdStatic.String() != "static" || ThresholdAdaptive.String() != "adaptive" {
+		t.Fatal("ThresholdMode.String mismatch")
+	}
+}
+
+func TestStaticMergeThresholdSchedule(t *testing.T) {
+	p := New(Config{Scheme: Dynamic, MaxSize: 8, MergeMode: ThresholdStatic,
+		BreakMode: ThresholdStatic, CMerge: 1, CBreak: 1, Window: 1000})
+	// Paper §4.4.1: thresholds 2, 4, 8 for sizes 1, 2, 4.
+	for _, tc := range []struct {
+		n    int
+		want float64
+	}{{1, 2}, {2, 4}, {4, 8}} {
+		if got := p.MergeThreshold(tc.n); got != tc.want {
+			t.Errorf("MergeThreshold(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestShouldMergeRespectsMaxSize(t *testing.T) {
+	p := New(Config{Scheme: Dynamic, MaxSize: 2, MergeMode: ThresholdStatic,
+		BreakMode: ThresholdStatic, CMerge: 1, CBreak: 1, Window: 1000})
+	if !p.ShouldMerge(2, 1) {
+		t.Fatal("size-1 pair with counter 2 should merge")
+	}
+	if p.ShouldMerge(255, 2) {
+		t.Fatal("merge beyond MaxSize allowed")
+	}
+}
+
+func TestNonDynamicNeverMergesAtRuntime(t *testing.T) {
+	for _, s := range []Scheme{None, Static} {
+		p := New(Config{Scheme: s, MaxSize: 2})
+		if p.ShouldMerge(255, 1) {
+			t.Errorf("scheme %v merged at runtime", s)
+		}
+		if p.ShouldBreak(-100, 2) {
+			t.Errorf("scheme %v broke at runtime", s)
+		}
+	}
+}
+
+func TestStaticBreakRule(t *testing.T) {
+	p := New(Config{Scheme: Dynamic, MaxSize: 4, MergeMode: ThresholdStatic,
+		BreakMode: ThresholdStatic, CMerge: 1, CBreak: 1, Window: 1000})
+	if p.BreakInitial(2) != 4 {
+		t.Fatalf("BreakInitial(2) = %d, want 4", p.BreakInitial(2))
+	}
+	if p.ShouldBreak(0, 2) {
+		t.Fatal("counter 0 should not break (threshold is below zero)")
+	}
+	if !p.ShouldBreak(-1, 2) {
+		t.Fatal("counter going negative must break")
+	}
+	// Size-1 blocks can never break.
+	if p.ShouldBreak(-100, 1) {
+		t.Fatal("size-1 block broke")
+	}
+}
+
+func TestDisableBreak(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableBreak = true
+	p := New(cfg)
+	if p.ShouldBreak(-100, 2) {
+		t.Fatal("DisableBreak ignored")
+	}
+}
+
+func TestAdaptiveThresholdEquation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxSize = 8
+	p := New(cfg)
+	p.UpdateRates(Rates{EvictionRate: 0.5, AccessRate: 0.8, PrefetchHitRate: 0.5})
+	// Equation 1 for merge of two size-1 blocks: resulting sbsize = 2,
+	// 1 * 4 * 0.5 * 0.8 / 0.5 = 3.2.
+	if got := p.MergeThreshold(1); got < 3.19 || got > 3.21 {
+		t.Fatalf("adaptive MergeThreshold(1) = %v, want 3.2", got)
+	}
+	// Break threshold for a size-2 super block: 1 * 4 * 0.5 * 0.8 / 0.5 = 3.2.
+	if got := p.BreakThreshold(2); got < 3.19 || got > 3.21 {
+		t.Fatalf("adaptive BreakThreshold(2) = %v, want 3.2", got)
+	}
+	// Higher eviction rate raises both thresholds (more conservative).
+	p.UpdateRates(Rates{EvictionRate: 1.0, AccessRate: 0.8, PrefetchHitRate: 0.5})
+	if p.MergeThreshold(1) <= 3.2 {
+		t.Fatal("merge threshold did not rise with eviction rate")
+	}
+	// Higher prefetch hit rate lowers the threshold (more aggressive).
+	p.UpdateRates(Rates{EvictionRate: 0.5, AccessRate: 0.8, PrefetchHitRate: 1.0})
+	if p.MergeThreshold(1) >= 3.2 {
+		t.Fatal("merge threshold did not fall with prefetch hit rate")
+	}
+}
+
+func TestAdaptiveThresholdScalesWithSize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxSize = 8
+	p := New(cfg)
+	p.UpdateRates(Rates{EvictionRate: 0.3, AccessRate: 0.9, PrefetchHitRate: 0.4})
+	if p.MergeThreshold(2) <= p.MergeThreshold(1) {
+		t.Fatal("threshold must grow with super block size")
+	}
+	if p.BreakThreshold(4) <= p.BreakThreshold(2) {
+		t.Fatal("break threshold must grow with super block size")
+	}
+}
+
+func TestHysteresisViaBreakInit(t *testing.T) {
+	// Merge/break ping-pong is damped by the break counter starting at 2n
+	// on merge: a fresh super block survives 2n unused-prefetch
+	// observations before it can break.
+	p := New(DefaultConfig())
+	if p.BreakInitial(2) != 4 {
+		t.Fatalf("BreakInitial(2) = %d, want 4", p.BreakInitial(2))
+	}
+	p.UpdateRates(Rates{EvictionRate: 0, AccessRate: 0, PrefetchHitRate: 1})
+	if p.ShouldBreak(3, 2) {
+		t.Fatal("fresh merged block broke immediately under no pressure")
+	}
+}
+
+func TestRateClamping(t *testing.T) {
+	p := New(DefaultConfig())
+	// Negative = "no data this window": the previous estimate is retained
+	// (the policy starts neutral at 1).
+	p.UpdateRates(Rates{EvictionRate: 1, AccessRate: 1, PrefetchHitRate: -1})
+	if r := p.Rates().PrefetchHitRate; r != 1 {
+		t.Fatalf("no-data window did not retain previous estimate: %v", r)
+	}
+	// Zero (all prefetches missed) is floored, not neutralized.
+	p.UpdateRates(Rates{EvictionRate: 1, AccessRate: 1, PrefetchHitRate: 0})
+	if r := p.Rates().PrefetchHitRate; r != 0.05 {
+		t.Fatalf("zero hit rate not floored: %v", r)
+	}
+	p.UpdateRates(Rates{EvictionRate: 1, AccessRate: 1, PrefetchHitRate: -1})
+	if r := p.Rates().PrefetchHitRate; r != 0.05 {
+		t.Fatalf("retention after floor broken: %v", r)
+	}
+}
+
+func TestMergeNeedsEvidence(t *testing.T) {
+	// Even with all-zero rates the merge threshold is floored at 1, so a
+	// counter of 0 can never trigger a merge.
+	p := New(DefaultConfig())
+	p.UpdateRates(Rates{})
+	if p.ShouldMerge(0, 1) {
+		t.Fatal("merged with zero-valued counter")
+	}
+}
+
+func TestBreakInitialSaturates(t *testing.T) {
+	p := New(Config{Scheme: Dynamic, MaxSize: 256, MergeMode: ThresholdStatic,
+		BreakMode: ThresholdStatic, CMerge: 1, CBreak: 1, Window: 1000})
+	if p.BreakInitial(200) != 255 {
+		t.Fatalf("BreakInitial(200) = %d, want saturation at 255", p.BreakInitial(200))
+	}
+}

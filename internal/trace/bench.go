@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"fmt"
+
+	"proram/internal/rng"
+)
+
+// ModelParams is the statistical profile of one benchmark: the handful of
+// properties the memory system (and therefore PrORAM) actually observes.
+type ModelParams struct {
+	Name string
+	// Ops is the number of memory operations generated (scaled by the
+	// harness for quick vs full runs).
+	Ops uint64
+	// WorkingSetBytes is the cold data footprint.
+	WorkingSetBytes uint64
+	// HotSetBytes is a small frequently-reused region; accesses to it
+	// mostly hit in the caches. HotFraction of operations go there —
+	// together these set the benchmark's memory intensity.
+	HotSetBytes uint64
+	HotFraction float64
+	// SeqFraction is the probability a cold access continues a sequential
+	// run; RunLen is the expected run length in Stride units. Together
+	// they set the spatial locality super blocks can exploit.
+	SeqFraction float64
+	RunLen      int
+	// Gap is the mean compute gap between memory operations.
+	Gap uint32
+	// WriteFraction is the store probability.
+	WriteFraction float64
+	// HotSparse scatters the hot set over alternating blocks (only even
+	// neighbors are ever touched). Pointer-chasing benchmarks reuse lines
+	// without their neighbors being hot, which is what makes the static
+	// super block scheme lose on them; dense hot sets model array-tiled
+	// kernels whose neighbors are hot together.
+	HotSparse bool
+	// PhaseLen optionally alternates the cold region's locality pattern
+	// every PhaseLen ops (program phases, §5.3.2).
+	PhaseLen uint64
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p ModelParams) Validate() error {
+	if p.Ops == 0 {
+		return fmt.Errorf("trace: %s: Ops must be positive", p.Name)
+	}
+	if p.WorkingSetBytes < 4*Stride || p.HotSetBytes < Stride {
+		return fmt.Errorf("trace: %s: regions too small", p.Name)
+	}
+	if p.HotFraction < 0 || p.HotFraction > 1 || p.SeqFraction < 0 || p.SeqFraction > 1 ||
+		p.WriteFraction < 0 || p.WriteFraction > 1 {
+		return fmt.Errorf("trace: %s: fractions out of [0,1]", p.Name)
+	}
+	if p.RunLen < 1 {
+		return fmt.Errorf("trace: %s: RunLen must be positive", p.Name)
+	}
+	return nil
+}
+
+// Model generates a benchmark's reference stream from its profile.
+type Model struct {
+	p      ModelParams
+	rnd    *rng.Source
+	n      uint64
+	cursor uint64
+	phase  uint64
+}
+
+// NewModel builds the generator; it panics on invalid parameters.
+func NewModel(p ModelParams) *Model {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Model{p: p, rnd: rng.New(p.Seed)}
+}
+
+// Name returns the benchmark name.
+func (m *Model) Name() string { return m.p.Name }
+
+// Len implements Generator.
+func (m *Model) Len() uint64 { return m.p.Ops }
+
+// Next implements Generator.
+func (m *Model) Next() (Op, bool) {
+	if m.n >= m.p.Ops {
+		return Op{}, false
+	}
+	if m.p.PhaseLen > 0 && m.n > 0 && m.n%m.p.PhaseLen == 0 {
+		m.phase++
+		m.cursor = 0
+	}
+	m.n++
+
+	var addr uint64
+	coldBase := m.p.HotSetBytes // cold region follows the hot region
+	if m.p.HotSparse {
+		coldBase = 2 * m.p.HotSetBytes // sparse hot sets span twice the bytes
+	}
+	coldSize := m.p.WorkingSetBytes
+	if m.rnd.Float64() < m.p.HotFraction {
+		addr = m.rnd.Uint64n(m.p.HotSetBytes/Stride) * Stride
+		if m.p.HotSparse {
+			// Spread the hot lines over alternating blocks: the block
+			// holding addr stays hot, its neighbor block never is.
+			blockPair := 2 * (addr / 128)
+			addr = blockPair*128 + addr%128
+		}
+	} else {
+		// Phased models split the cold region spatially (§5.3.2): one half
+		// is scanned sequentially, the other accessed randomly, and the
+		// halves swap roles every phase.
+		seqBase, seqSize := uint64(0), coldSize
+		rndBase, rndSize := uint64(0), coldSize
+		if m.p.PhaseLen > 0 {
+			half := (coldSize / 2) &^ (Stride - 1)
+			if m.phase%2 == 0 {
+				seqBase, seqSize = 0, half
+				rndBase, rndSize = half, coldSize-half
+			} else {
+				seqBase, seqSize = half, coldSize-half
+				rndBase, rndSize = 0, half
+			}
+		}
+		if m.rnd.Float64() < m.p.SeqFraction {
+			if m.rnd.Float64() < 1.0/float64(m.p.RunLen) {
+				m.cursor = m.rnd.Uint64n(seqSize/Stride) * Stride
+			}
+			if m.cursor >= seqSize {
+				m.cursor = 0
+			}
+			addr = coldBase + seqBase + m.cursor
+			m.cursor += Stride
+			if m.cursor >= seqSize {
+				m.cursor = 0
+			}
+		} else {
+			off := m.rnd.Uint64n(rndSize/Stride) * Stride
+			addr = coldBase + rndBase + off
+			if m.p.PhaseLen == 0 {
+				// Unphased models let a random jump seed a new run.
+				m.cursor = off + Stride
+			}
+		}
+	}
+
+	gap := m.p.Gap
+	if gap > 1 {
+		gap = gap/2 + uint32(m.rnd.Uint64n(uint64(gap)))
+	}
+	return Op{Gap: gap, Addr: addr, Write: m.rnd.Float64() < m.p.WriteFraction}, true
+}
+
+// mb converts mebibytes to bytes.
+func mb(n uint64) uint64 { return n << 20 }
+
+// kb converts kibibytes to bytes.
+func kb(n uint64) uint64 { return n << 10 }
+
+// Splash2 returns the Splash2 suite profiles in the paper's Figure 8a
+// order (ascending ORAM-over-DRAM overhead). The first seven are the
+// computation-intensive group, the rest memory-intensive (overhead > 2x).
+func Splash2(ops uint64) []ModelParams {
+	// Cold working sets are a few MB — the footprint a looped kernel
+	// streams over repeatedly — so super blocks see the reuse they need to
+	// mature, exactly as in the looped Splash2 kernels.
+	mk := func(name string, hotFrac float64, hot uint64, sparse bool, seq float64, run int,
+		gap uint32, wr float64, seed uint64) ModelParams {
+		return ModelParams{
+			Name: name, Ops: ops, WorkingSetBytes: mb(1), HotSetBytes: hot,
+			HotFraction: hotFrac, HotSparse: sparse, SeqFraction: seq, RunLen: run,
+			Gap: gap, WriteFraction: wr, Seed: seed,
+		}
+	}
+	phased := func(p ModelParams, phase uint64) ModelParams {
+		p.PhaseLen = phase
+		return p
+	}
+	return []ModelParams{
+		mk("water_ns", 0.94, kb(192), false, 0.50, 8, 160, 0.25, 101),
+		mk("water_s", 0.94, kb(192), false, 0.50, 8, 140, 0.25, 102),
+		mk("radiosity", 0.93, kb(192), false, 0.50, 8, 100, 0.30, 103),
+		mk("lu_c", 0.92, kb(192), false, 0.85, 24, 95, 0.30, 104),
+		mk("volrend", 0.92, kb(192), true, 0.08, 2, 55, 0.15, 105),
+		phased(mk("barnes", 0.91, kb(192), false, 0.50, 6, 50, 0.25, 106), ops/6),
+		phased(mk("fmm", 0.90, kb(192), false, 0.50, 6, 45, 0.25, 107), ops/6),
+		phased(mk("cholesky", 0.90, kb(192), false, 0.65, 12, 22, 0.30, 108), ops/8),
+		phased(mk("lu_nc", 0.89, kb(192), false, 0.60, 10, 18, 0.30, 109), ops/8),
+		phased(mk("raytrace", 0.88, kb(192), false, 0.55, 8, 16, 0.10, 110), ops/8),
+		mk("radix", 0.88, kb(192), true, 0.12, 2, 10, 0.40, 111),
+		phased(mk("fft", 0.87, kb(192), false, 0.72, 16, 11, 0.30, 112), ops/8),
+		mk("ocean_c", 0.86, kb(192), false, 0.88, 32, 8, 0.30, 113),
+		phased(mk("ocean_nc", 0.86, kb(192), false, 0.80, 20, 7, 0.30, 114), ops/6),
+	}
+}
+
+// Splash2MemoryIntensive reports whether name is in the memory-intensive
+// group (baseline ORAM overhead over DRAM above 2x, Figure 8a).
+func Splash2MemoryIntensive(name string) bool {
+	switch name {
+	case "cholesky", "lu_nc", "raytrace", "radix", "fft", "ocean_c", "ocean_nc":
+		return true
+	}
+	return false
+}
+
+// SPEC06 returns the SPEC06 profiles in the paper's Figure 8b order.
+func SPEC06(ops uint64) []ModelParams {
+	mk := func(name string, hotFrac float64, hot uint64, sparse bool, seq float64, run int,
+		gap uint32, wr float64, seed uint64) ModelParams {
+		return ModelParams{
+			Name: name, Ops: ops, WorkingSetBytes: mb(1), HotSetBytes: hot,
+			HotFraction: hotFrac, HotSparse: sparse, SeqFraction: seq, RunLen: run,
+			Gap: gap, WriteFraction: wr, Seed: seed,
+		}
+	}
+	phased := func(p ModelParams, phase uint64) ModelParams {
+		p.PhaseLen = phase
+		return p
+	}
+	return []ModelParams{
+		mk("h264", 0.94, kb(192), false, 0.60, 10, 170, 0.25, 201),
+		mk("hmmer", 0.94, kb(192), false, 0.50, 8, 150, 0.25, 202),
+		mk("sjeng", 0.93, kb(192), true, 0.08, 2, 110, 0.20, 203),
+		phased(mk("perl", 0.92, kb(192), false, 0.50, 8, 95, 0.30, 204), ops/6),
+		mk("astar", 0.92, kb(192), true, 0.10, 2, 70, 0.20, 205),
+		phased(mk("gobmk", 0.91, kb(192), false, 0.45, 6, 60, 0.25, 206), ops/6),
+		phased(mk("gcc", 0.90, kb(192), false, 0.60, 10, 28, 0.30, 207), ops/8),
+		phased(mk("bzip2", 0.89, kb(192), false, 0.70, 14, 20, 0.30, 208), ops/8),
+		mk("omnet", 0.88, kb(192), true, 0.10, 2, 11, 0.30, 209),
+		mk("mcf", 0.87, kb(192), true, 0.15, 2, 8, 0.20, 210),
+	}
+}
+
+// SPEC06MemoryIntensive reports whether name is in the memory-intensive
+// group of Figure 8b.
+func SPEC06MemoryIntensive(name string) bool {
+	switch name {
+	case "gcc", "bzip2", "omnet", "mcf":
+		return true
+	}
+	return false
+}
+
+// Fig5Splash2Names are the benchmarks the paper's Figure 5 uses for the
+// traditional-prefetching study.
+var Fig5Splash2Names = []string{"barnes", "cholesky", "lu_nc", "raytrace", "ocean_c", "ocean_nc"}
+
+// ByName selects the named profiles, panicking on unknown names (a
+// programming error in the harness).
+func ByName(all []ModelParams, names ...string) []ModelParams {
+	var out []ModelParams
+	for _, n := range names {
+		found := false
+		for _, p := range all {
+			if p.Name == n {
+				out = append(out, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("trace: unknown benchmark %q", n))
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"fmt"
+
+	"proram/internal/rng"
+)
+
+// YCSBConfig models the YCSB key-value workload of §5.4 running on the
+// DBMS of [38]: Zipfian record selection with each operation reading or
+// updating a whole record, which the storage engine touches sequentially.
+// Whole-record scans are exactly the neighbor-block spatial locality the
+// dynamic super block scheme detects.
+type YCSBConfig struct {
+	Ops        uint64
+	Records    uint64 // number of records in the table
+	RecordSize uint64 // bytes per record (1 KB in YCSB's default schema)
+	Theta      float64
+	// ReadFraction is the fraction of point reads (the rest are updates).
+	ReadFraction float64
+	// Gap is the mean compute gap between memory operations (index lookup,
+	// comparison and copy work between touches).
+	Gap  uint32
+	Seed uint64
+}
+
+// DefaultYCSB returns a YCSB-B-flavoured configuration (95% reads,
+// Zipf 0.99, 1 KB records).
+func DefaultYCSB(ops uint64) YCSBConfig {
+	return YCSBConfig{
+		Ops:          ops,
+		Records:      8 << 10,
+		RecordSize:   1024,
+		Theta:        0.99,
+		ReadFraction: 0.95,
+		Gap:          6,
+		Seed:         301,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c YCSBConfig) Validate() error {
+	if c.Ops == 0 || c.Records == 0 {
+		return fmt.Errorf("trace: ycsb: Ops and Records must be positive")
+	}
+	if c.RecordSize < Stride {
+		return fmt.Errorf("trace: ycsb: RecordSize %d below stride", c.RecordSize)
+	}
+	if c.Theta <= 0 || c.Theta >= 1 {
+		return fmt.Errorf("trace: ycsb: Theta %v out of (0,1)", c.Theta)
+	}
+	if c.ReadFraction < 0 || c.ReadFraction > 1 {
+		return fmt.Errorf("trace: ycsb: ReadFraction out of [0,1]")
+	}
+	return nil
+}
+
+// YCSB generates the record-structured reference stream.
+type YCSB struct {
+	cfg  YCSBConfig
+	rnd  *rng.Source
+	zipf *rng.Zipf
+	n    uint64
+	// in-progress record scan
+	recBase uint64
+	recOff  uint64
+	write   bool
+}
+
+// NewYCSB builds the generator; it panics on invalid configuration.
+func NewYCSB(cfg YCSBConfig) *YCSB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := rng.New(cfg.Seed)
+	return &YCSB{cfg: cfg, rnd: r, zipf: rng.NewZipf(r.Fork(), cfg.Records, cfg.Theta)}
+}
+
+// Len implements Generator.
+func (y *YCSB) Len() uint64 { return y.cfg.Ops }
+
+// Next implements Generator.
+func (y *YCSB) Next() (Op, bool) {
+	if y.n >= y.cfg.Ops {
+		return Op{}, false
+	}
+	y.n++
+	if y.recOff >= y.cfg.RecordSize {
+		// Start the next transaction: pick a record by Zipf popularity.
+		rec := y.zipf.Next()
+		y.recBase = rec * y.cfg.RecordSize
+		y.recOff = 0
+		y.write = y.rnd.Float64() >= y.cfg.ReadFraction
+	}
+	addr := y.recBase + y.recOff
+	y.recOff += Stride
+	gap := y.cfg.Gap
+	if gap > 1 {
+		gap = gap/2 + uint32(y.rnd.Uint64n(uint64(gap)))
+	}
+	return Op{Gap: gap, Addr: addr, Write: y.write}, true
+}
+
+// TPCC returns the TPC-C profile: an order-entry mix touching many small
+// rows across customer/stock/order tables with limited spatial locality,
+// a moderate hot set (warehouse/district rows) and a high write fraction.
+// The paper reports only ~5% PrORAM gain here, driven by the weaker
+// locality this profile encodes.
+func TPCC(ops uint64) ModelParams {
+	return ModelParams{
+		Name:            "TPCC",
+		Ops:             ops,
+		WorkingSetBytes: mb(1),
+		HotSetBytes:     kb(192),
+		HotFraction:     0.90,
+		HotSparse:       true,
+		SeqFraction:     0.30,
+		RunLen:          3,
+		Gap:             14,
+		WriteFraction:   0.45,
+		Seed:            302,
+	}
+}

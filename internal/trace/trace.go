@@ -1,0 +1,64 @@
+// Package trace generates the memory reference streams that drive the
+// simulator: parametric synthetic patterns (the paper's §5.3 locality and
+// phase-change microbenchmarks) and statistical models of the Splash2,
+// SPEC06 and DBMS (YCSB/TPCC) workloads used in §5.4.
+//
+// The real benchmarks are binaries traced inside Graphite, which we cannot
+// run; each model reproduces the properties PrORAM actually reacts to —
+// memory intensity (compute gap + temporal locality), spatial locality of
+// the miss stream (sequential-run probability and length), working-set
+// size, write fraction and phase behaviour. DESIGN.md §4 records this
+// substitution.
+package trace
+
+// Op is one memory reference: the core executes Gap compute cycles, then
+// issues a read or write of the byte at Addr.
+type Op struct {
+	Gap   uint32
+	Addr  uint64
+	Write bool
+}
+
+// Generator produces a finite deterministic stream of operations.
+type Generator interface {
+	// Next returns the next operation; ok is false when the stream ends.
+	Next() (op Op, ok bool)
+	// Len returns the total number of operations the stream will produce.
+	Len() uint64
+}
+
+// Stride is the byte distance between consecutive references of a
+// sequential run: half a 128-byte block, so sequential runs both reuse
+// lines (temporal hits) and walk into neighbor blocks (the spatial
+// locality super blocks exploit).
+const Stride = 64
+
+// Take returns a Generator producing at most n operations from g, used to
+// split a stream into a warmup prefix and a measured remainder.
+func Take(g Generator, n uint64) Generator {
+	return &takeGen{g: g, n: n}
+}
+
+type takeGen struct {
+	g    Generator
+	n    uint64
+	done uint64
+}
+
+func (t *takeGen) Next() (Op, bool) {
+	if t.done >= t.n {
+		return Op{}, false
+	}
+	op, ok := t.g.Next()
+	if ok {
+		t.done++
+	}
+	return op, ok
+}
+
+func (t *takeGen) Len() uint64 {
+	if t.n < t.g.Len() {
+		return t.n
+	}
+	return t.g.Len()
+}

@@ -1,0 +1,24 @@
+package proram
+
+import "proram/internal/rng"
+
+// nonceSource adapts the deterministic generator to io.Reader for the
+// sealer. Deterministic nonces keep whole experiments reproducible; supply
+// Config.Key plus your own entropy expectations for real deployments.
+type nonceSource struct {
+	src *rng.Source
+}
+
+func newNonceSource(seed uint64) *nonceSource {
+	return &nonceSource{src: rng.New(seed)}
+}
+
+func (n *nonceSource) Read(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		v := n.src.Uint64()
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return len(p), nil
+}

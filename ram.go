@@ -1,0 +1,279 @@
+package proram
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+
+	"proram/internal/oram"
+	"proram/internal/seal"
+)
+
+// RAM is an oblivious RAM: a block store whose physical access pattern
+// reveals nothing about which blocks are read or written. Payloads are
+// AES-CTR encrypted at rest with a fresh nonce on every write-back, and
+// the access pattern is produced by a full Unified Path ORAM controller
+// with the configured PrORAM prefetching scheme.
+//
+// RAM is not safe for concurrent use; callers serialize access (as the
+// single ORAM controller in the paper's hardware does).
+type RAM struct {
+	cfg    Config
+	ctrl   *oram.Controller
+	sealer *seal.Sealer
+
+	// sealed is the "untrusted storage" for payloads, keyed by block index.
+	// Absent entries read as zero blocks.
+	sealed map[uint64][]byte
+
+	// cache is the client-side plaintext block cache (the LLC stand-in).
+	cache     map[uint64]*list.Element
+	lru       *list.List
+	now       uint64
+	reads     uint64
+	writes    uint64
+	cacheHits uint64
+}
+
+type cacheLine struct {
+	index      uint64
+	data       []byte
+	dirty      bool
+	prefetched bool
+	used       bool
+}
+
+// New builds an oblivious RAM.
+func New(cfg Config) (*RAM, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := oram.New(cfg.oramConfig())
+	if err != nil {
+		return nil, err
+	}
+	key := cfg.Key
+	if key == nil {
+		key = deriveKey(cfg.Seed)
+	}
+	sealer, err := seal.New(key, newNonceSource(cfg.Seed^0x5eed))
+	if err != nil {
+		return nil, err
+	}
+	r := &RAM{
+		cfg:    cfg,
+		ctrl:   ctrl,
+		sealer: sealer,
+		sealed: make(map[uint64][]byte),
+		cache:  make(map[uint64]*list.Element),
+		lru:    list.New(),
+	}
+	ctrl.SetProber(ramProber{r})
+	return r, nil
+}
+
+// ramProber lets the controller's merge algorithm see the client cache.
+type ramProber struct{ r *RAM }
+
+func (p ramProber) Present(index uint64) bool {
+	_, ok := p.r.cache[index]
+	return ok
+}
+
+// Blocks returns the capacity in blocks.
+func (r *RAM) Blocks() uint64 { return r.cfg.Blocks }
+
+// BlockBytes returns the block size.
+func (r *RAM) BlockBytes() int { return r.cfg.BlockBytes }
+
+// Stats returns usage statistics.
+func (r *RAM) Stats() Stats {
+	return statsFrom(r.ctrl.Stats(), r.reads, r.writes, r.cacheHits)
+}
+
+// Read returns a copy of the block at index.
+func (r *RAM) Read(index uint64) ([]byte, error) {
+	if index >= r.cfg.Blocks {
+		return nil, fmt.Errorf("proram: block %d out of range (%d blocks)", index, r.cfg.Blocks)
+	}
+	r.reads++
+	line, err := r.fetch(index)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, r.cfg.BlockBytes)
+	copy(out, line.data)
+	return out, nil
+}
+
+// Write stores data (at most BlockBytes; shorter slices are zero-padded)
+// into the block at index.
+func (r *RAM) Write(index uint64, data []byte) error {
+	if index >= r.cfg.Blocks {
+		return fmt.Errorf("proram: block %d out of range (%d blocks)", index, r.cfg.Blocks)
+	}
+	if len(data) > r.cfg.BlockBytes {
+		return fmt.Errorf("proram: %d bytes exceed the %d-byte block size", len(data), r.cfg.BlockBytes)
+	}
+	r.writes++
+	line, err := r.fetch(index)
+	if err != nil {
+		return err
+	}
+	for i := range line.data {
+		line.data[i] = 0
+	}
+	copy(line.data, data)
+	line.dirty = true
+	return nil
+}
+
+// fetch returns the cached line for index, loading it through the ORAM on
+// a miss (with whatever siblings the prefetcher returns).
+func (r *RAM) fetch(index uint64) (*cacheLine, error) {
+	if e, ok := r.cache[index]; ok {
+		r.cacheHits++
+		r.lru.MoveToFront(e)
+		line := e.Value.(*cacheLine)
+		if line.prefetched && !line.used {
+			line.used = true
+			r.ctrl.NotifyPrefetchUse(index)
+		}
+		return line, nil
+	}
+	res := r.ctrl.Read(r.now, index)
+	r.now = res.Done
+	line, err := r.install(index, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range res.Prefetched {
+		if _, ok := r.cache[p]; ok {
+			continue
+		}
+		if _, err := r.install(p, true); err != nil {
+			return nil, err
+		}
+	}
+	return line, nil
+}
+
+// install decrypts a block into the cache, evicting as needed.
+func (r *RAM) install(index uint64, prefetched bool) (*cacheLine, error) {
+	data := make([]byte, r.cfg.BlockBytes)
+	if sealed, ok := r.sealed[index]; ok {
+		plain, err := r.sealer.Open(data[:0], sealed)
+		if err != nil {
+			return nil, fmt.Errorf("proram: block %d corrupt: %w", index, err)
+		}
+		data = plain
+	}
+	line := &cacheLine{index: index, data: data, prefetched: prefetched}
+	r.cache[index] = r.lru.PushFront(line)
+	for r.lru.Len() > r.cfg.CacheBlocks {
+		if err := r.evictLRU(); err != nil {
+			return nil, err
+		}
+	}
+	return line, nil
+}
+
+// evictLRU writes the least-recently-used line back.
+func (r *RAM) evictLRU() error {
+	back := r.lru.Back()
+	line := back.Value.(*cacheLine)
+	r.lru.Remove(back)
+	delete(r.cache, line.index)
+	if line.prefetched && !line.used {
+		r.ctrl.NotifyPrefetchEvict(line.index)
+	}
+	if !line.dirty {
+		return nil
+	}
+	sealed, err := r.sealer.Seal(nil, line.data)
+	if err != nil {
+		return err
+	}
+	r.sealed[line.index] = sealed
+	res := r.ctrl.Write(r.now, line.index)
+	r.now = res.Done
+	return nil
+}
+
+// Flush writes every dirty cached block back to the ORAM. The cache stays
+// warm (lines remain cached, now clean).
+func (r *RAM) Flush() error {
+	for e := r.lru.Front(); e != nil; e = e.Next() {
+		line := e.Value.(*cacheLine)
+		if !line.dirty {
+			continue
+		}
+		sealed, err := r.sealer.Seal(nil, line.data)
+		if err != nil {
+			return err
+		}
+		r.sealed[line.index] = sealed
+		res := r.ctrl.Write(r.now, line.index)
+		r.now = res.Done
+		line.dirty = false
+	}
+	return nil
+}
+
+// ReadAt implements random byte-granular reads across block boundaries.
+func (r *RAM) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("proram: negative offset")
+	}
+	bb := int64(r.cfg.BlockBytes)
+	n := 0
+	for n < len(p) {
+		block := uint64((off + int64(n)) / bb)
+		inner := (off + int64(n)) % bb
+		if block >= r.cfg.Blocks {
+			return n, fmt.Errorf("proram: offset %d beyond capacity", off+int64(n))
+		}
+		data, err := r.Read(block)
+		if err != nil {
+			return n, err
+		}
+		n += copy(p[n:], data[inner:])
+	}
+	return n, nil
+}
+
+// WriteAt implements random byte-granular writes across block boundaries.
+func (r *RAM) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("proram: negative offset")
+	}
+	bb := int64(r.cfg.BlockBytes)
+	n := 0
+	for n < len(p) {
+		block := uint64((off + int64(n)) / bb)
+		inner := (off + int64(n)) % bb
+		if block >= r.cfg.Blocks {
+			return n, fmt.Errorf("proram: offset %d beyond capacity", off+int64(n))
+		}
+		data, err := r.Read(block)
+		if err != nil {
+			return n, err
+		}
+		c := copy(data[inner:], p[n:])
+		if err := r.Write(block, data); err != nil {
+			return n, err
+		}
+		n += c
+	}
+	return n, nil
+}
+
+// deriveKey expands a seed into a deterministic 16-byte AES key (used when
+// no key is supplied; fine for simulation, not for real secrets).
+func deriveKey(seed uint64) []byte {
+	key := make([]byte, 16)
+	binary.LittleEndian.PutUint64(key, seed*0x9e3779b97f4a7c15+1)
+	binary.LittleEndian.PutUint64(key[8:], seed^0xd1b54a32d192ed03)
+	return key
+}

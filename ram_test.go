@@ -1,0 +1,252 @@
+package proram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"proram/internal/rng"
+)
+
+func testRAM(t *testing.T, mutate func(*Config)) *RAM {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Blocks = 1 << 12
+	cfg.CacheBlocks = 64
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRAMReadYourWrites(t *testing.T) {
+	r := testRAM(t, nil)
+	msg := []byte("hello oblivious world")
+	if err := r.Write(17, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(msg)], msg) {
+		t.Fatalf("read back %q", got[:len(msg)])
+	}
+	// Unwritten blocks read as zeros.
+	zero, err := r.Read(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range zero {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestRAMSurvivesCachePressure(t *testing.T) {
+	r := testRAM(t, nil)
+	// Write far more blocks than the cache holds, then read them all back.
+	rnd := rng.New(7)
+	want := map[uint64]byte{}
+	for i := 0; i < 500; i++ {
+		idx := rnd.Uint64n(r.Blocks())
+		v := byte(rnd.Uint64n(255) + 1)
+		want[idx] = v
+		if err := r.Write(idx, []byte{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for idx, v := range want {
+		got, err := r.Read(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != v {
+			t.Fatalf("block %d = %d, want %d", idx, got[0], v)
+		}
+	}
+	s := r.Stats()
+	if s.PathAccesses == 0 || s.CacheHits == 0 {
+		t.Fatalf("implausible stats: %+v", s)
+	}
+}
+
+func TestRAMPropertyRandomOps(t *testing.T) {
+	r := testRAM(t, func(c *Config) { c.Scheme = SchemeDynamic })
+	model := map[uint64][]byte{}
+	rnd := rng.New(11)
+	for i := 0; i < 3000; i++ {
+		idx := rnd.Uint64n(256) // hot region encourages merging
+		if rnd.Bool() {
+			data := make([]byte, 8)
+			for j := range data {
+				data[j] = byte(rnd.Uint64())
+			}
+			model[idx] = data
+			if err := r.Write(idx, data); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			got, err := r.Read(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := model[idx]
+			if want == nil {
+				continue
+			}
+			if !bytes.Equal(got[:8], want) {
+				t.Fatalf("op %d: block %d = %x, want %x", i, idx, got[:8], want)
+			}
+		}
+	}
+	if r.Stats().Merges == 0 {
+		t.Fatal("hot workload never merged super blocks")
+	}
+}
+
+func TestRAMFlush(t *testing.T) {
+	r := testRAM(t, nil)
+	if err := r.Write(3, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().Writes != 1 {
+		t.Fatalf("stats %+v", r.Stats())
+	}
+	// The sealed store now holds the block; a fresh read (after cache
+	// churn) must decrypt it correctly.
+	for i := uint64(100); i < 400; i++ {
+		if _, err := r.Read(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := r.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatalf("flushed block read back %d", got[0])
+	}
+}
+
+func TestRAMBounds(t *testing.T) {
+	r := testRAM(t, nil)
+	if _, err := r.Read(r.Blocks()); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := r.Write(r.Blocks(), nil); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if err := r.Write(0, make([]byte, r.BlockBytes()+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestRAMReadWriteAt(t *testing.T) {
+	r := testRAM(t, nil)
+	msg := []byte("spans multiple blocks when written at an odd offset .....")
+	off := int64(r.BlockBytes()*5 - 10)
+	n, err := r.WriteAt(msg, off)
+	if err != nil || n != len(msg) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := r.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("ReadAt = %q", got)
+	}
+	if _, err := r.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := r.ReadAt(make([]byte, 1), int64(r.Blocks())*int64(r.BlockBytes())); err == nil {
+		t.Fatal("offset beyond capacity accepted")
+	}
+}
+
+func TestRAMQuickRoundTrip(t *testing.T) {
+	r := testRAM(t, nil)
+	f := func(idx uint16, payload []byte) bool {
+		block := uint64(idx) % r.Blocks()
+		if len(payload) > r.BlockBytes() {
+			payload = payload[:r.BlockBytes()]
+		}
+		if err := r.Write(block, payload); err != nil {
+			return false
+		}
+		got, err := r.Read(block)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got[:len(payload)], payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Blocks = 1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("tiny capacity accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CacheBlocks = 1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("tiny cache accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Scheme = Scheme(42)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Key = []byte("bad")
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemeNone.String() != "none" || SchemeStatic.String() != "static" ||
+		SchemeDynamic.String() != "dynamic" {
+		t.Fatal("Scheme.String mismatch")
+	}
+}
+
+func TestStatsPrefetchMissRate(t *testing.T) {
+	s := Stats{PrefetchHits: 3, PrefetchUnused: 1}
+	if got := s.PrefetchMissRate(); got != 0.25 {
+		t.Fatalf("miss rate %v", got)
+	}
+	if (Stats{}).PrefetchMissRate() != 0 {
+		t.Fatal("empty miss rate nonzero")
+	}
+}
+
+func TestRAMSchemesAllWork(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeNone, SchemeStatic, SchemeDynamic} {
+		r := testRAM(t, func(c *Config) { c.Scheme = scheme })
+		for i := uint64(0); i < 64; i++ {
+			if err := r.Write(i, []byte{byte(i)}); err != nil {
+				t.Fatalf("%v: %v", scheme, err)
+			}
+		}
+		for i := uint64(0); i < 64; i++ {
+			got, err := r.Read(i)
+			if err != nil || got[0] != byte(i) {
+				t.Fatalf("%v: block %d = %v, %v", scheme, i, got[0], err)
+			}
+		}
+	}
+}

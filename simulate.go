@@ -1,0 +1,254 @@
+package proram
+
+import (
+	"fmt"
+
+	"proram/internal/prefetch"
+	"proram/internal/sim"
+	"proram/internal/trace"
+)
+
+// Memory selects the simulated main-memory technology.
+type Memory int
+
+const (
+	// MemoryORAM is the Path ORAM system (default).
+	MemoryORAM Memory = iota
+	// MemoryDRAM is the insecure baseline.
+	MemoryDRAM
+)
+
+// SimConfig describes a simulated secure-processor memory system. Zero
+// values mean the paper's Table 1 defaults.
+type SimConfig struct {
+	// Memory picks DRAM or ORAM.
+	Memory Memory
+	// Scheme selects the ORAM prefetcher (ignored for DRAM).
+	Scheme Scheme
+	// MaxSuperBlock bounds super block size (default 2).
+	MaxSuperBlock int
+	// StreamPrefetcher enables the traditional stream prefetcher of §5.2
+	// (mutually exclusive with a super block Scheme).
+	StreamPrefetcher bool
+	// CacheLineBytes is the cacheline/ORAM-block size (default 128).
+	CacheLineBytes int
+	// ORAMBlocks is the ORAM capacity in blocks (default ~1.5M = 192 MB).
+	ORAMBlocks uint64
+	// Z and StashBlocks override Table 1's 3 and 100.
+	Z           int
+	StashBlocks int
+	// BandwidthGBps overrides the 16 GB/s memory channel.
+	BandwidthGBps float64
+	// Periodic enables timing-channel-protected (periodic) accesses with
+	// the public interval Oint (cycles).
+	Periodic bool
+	Oint     uint64
+	// WarmupOps runs a measured-region experiment: the first WarmupOps
+	// operations execute unmeasured.
+	WarmupOps uint64
+	// Seed drives the ORAM randomness (zero means 1).
+	Seed uint64
+}
+
+// Simulator runs workloads on a configured memory system. Each Run builds
+// a fresh system (cold caches, freshly initialized ORAM).
+type Simulator struct {
+	cfg sim.Config
+}
+
+// NewSimulator validates the configuration and returns a Simulator.
+func NewSimulator(c SimConfig) (*Simulator, error) {
+	tech := sim.TechORAM
+	if c.Memory == MemoryDRAM {
+		tech = sim.TechDRAM
+	}
+	cfg := sim.DefaultConfig(tech)
+	if c.CacheLineBytes != 0 {
+		cfg.BlockBytes = c.CacheLineBytes
+		cfg.Hier.L1.LineBytes = c.CacheLineBytes
+		cfg.Hier.L2.LineBytes = c.CacheLineBytes
+	}
+	if c.ORAMBlocks != 0 {
+		cfg.ORAM.NumBlocks = c.ORAMBlocks
+	}
+	if c.Z != 0 {
+		cfg.ORAM.Z = c.Z
+	}
+	if c.StashBlocks != 0 {
+		cfg.ORAM.StashLimit = c.StashBlocks
+	}
+	if c.BandwidthGBps != 0 {
+		cfg.DRAM.BandwidthGBps = c.BandwidthGBps
+	}
+	if c.Seed != 0 {
+		cfg.ORAM.Seed = c.Seed
+	}
+	maxSB := c.MaxSuperBlock
+	if maxSB == 0 {
+		maxSB = 2
+	}
+	cfg.ORAM.Super = superblockConfig(c.Scheme, maxSB)
+	if c.StreamPrefetcher {
+		pf := prefetch.DefaultConfig()
+		cfg.Prefetch = &pf
+	}
+	cfg.ORAM.Periodic = c.Periodic
+	if c.Oint != 0 {
+		cfg.ORAM.Oint = c.Oint
+	}
+	cfg.WarmupOps = c.WarmupOps
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// Result is what one simulation measured.
+type Result struct {
+	// Cycles is the completion time of the measured region.
+	Cycles uint64
+	// MemOps is the number of memory operations executed.
+	MemOps uint64
+	// LLCMisses is demand misses reaching memory.
+	LLCMisses uint64
+	// MemoryAccesses is the energy proxy: ORAM path accesses or DRAM line
+	// accesses.
+	MemoryAccesses uint64
+	// ORAM carries the controller detail (zero for DRAM runs).
+	ORAM Stats
+	// StreamIssued/StreamHits report the traditional prefetcher.
+	StreamIssued, StreamHits uint64
+}
+
+// Run executes one workload and returns the measurements.
+func (s *Simulator) Run(w Workload) (Result, error) {
+	system, err := sim.New(s.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	rep, err := system.Run(w.generator())
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Cycles:         rep.Cycles,
+		MemOps:         rep.MemOps,
+		LLCMisses:      rep.LLCMisses,
+		MemoryAccesses: rep.MemoryAccesses,
+		ORAM:           statsFrom(rep.ORAM, rep.ORAM.DemandReads, rep.ORAM.Writebacks, 0),
+		StreamIssued:   rep.StreamIssued,
+		StreamHits:     rep.StreamHits,
+	}, nil
+}
+
+// Workload is a deterministic memory reference stream for the Simulator.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// Ops is the stream length.
+	Ops uint64
+
+	factory func() trace.Generator
+}
+
+func (w Workload) generator() trace.Generator {
+	if w.factory == nil {
+		panic("proram: zero Workload; use a workload constructor")
+	}
+	return w.factory()
+}
+
+// SyntheticConfig parameterizes the paper's §5.3 microbenchmark.
+type SyntheticConfig struct {
+	Ops              uint64
+	WorkingSetBytes  uint64
+	LocalityFraction float64 // fraction of data accessed sequentially
+	PhaseLen         uint64  // swap sequential/random halves every PhaseLen ops
+	WriteFraction    float64
+	Seed             uint64
+}
+
+// Synthetic builds the locality-controlled microbenchmark of Figure 6.
+func Synthetic(c SyntheticConfig) (Workload, error) {
+	tc := trace.SyntheticConfig{
+		Ops:              c.Ops,
+		WorkingSetBytes:  c.WorkingSetBytes,
+		LocalityFraction: c.LocalityFraction,
+		RunLen:           32,
+		Gap:              6,
+		WriteFraction:    c.WriteFraction,
+		PhaseLen:         c.PhaseLen,
+		Seed:             c.Seed + 1,
+	}
+	if tc.WorkingSetBytes == 0 {
+		tc.WorkingSetBytes = 2 << 20
+	}
+	if tc.Ops == 0 {
+		tc.Ops = 200_000
+	}
+	if err := tc.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:    fmt.Sprintf("synthetic-%.0f%%", c.LocalityFraction*100),
+		Ops:     tc.Ops,
+		factory: func() trace.Generator { return trace.NewSynthetic(tc) },
+	}, nil
+}
+
+// Splash2Workloads returns the modeled Splash2 suite (Figure 8a order).
+func Splash2Workloads(ops uint64) []Workload {
+	var out []Workload
+	for _, p := range trace.Splash2(ops) {
+		p := p
+		out = append(out, Workload{Name: p.Name, Ops: p.Ops,
+			factory: func() trace.Generator { return trace.NewModel(p) }})
+	}
+	return out
+}
+
+// SPEC06Workloads returns the modeled SPEC06 suite (Figure 8b order).
+func SPEC06Workloads(ops uint64) []Workload {
+	var out []Workload
+	for _, p := range trace.SPEC06(ops) {
+		p := p
+		out = append(out, Workload{Name: p.Name, Ops: p.Ops,
+			factory: func() trace.Generator { return trace.NewModel(p) }})
+	}
+	return out
+}
+
+// YCSBWorkload returns the modeled YCSB key-value workload.
+func YCSBWorkload(ops uint64) Workload {
+	cfg := trace.DefaultYCSB(ops)
+	return Workload{Name: "YCSB", Ops: ops,
+		factory: func() trace.Generator { return trace.NewYCSB(cfg) }}
+}
+
+// TPCCWorkload returns the modeled TPC-C order-entry workload.
+func TPCCWorkload(ops uint64) Workload {
+	p := trace.TPCC(ops)
+	return Workload{Name: "TPCC", Ops: ops,
+		factory: func() trace.Generator { return trace.NewModel(p) }}
+}
+
+// Op is one memory reference of a workload: Gap compute cycles followed by
+// a read or write of the byte at Addr.
+type Op struct {
+	Gap   uint32
+	Addr  uint64
+	Write bool
+}
+
+// ForEach streams the workload's operations through f (a fresh pass each
+// call; workloads are deterministic).
+func (w Workload) ForEach(f func(Op)) {
+	g := w.generator()
+	for {
+		op, ok := g.Next()
+		if !ok {
+			return
+		}
+		f(Op{Gap: op.Gap, Addr: op.Addr, Write: op.Write})
+	}
+}

@@ -1,0 +1,150 @@
+package proram
+
+import "testing"
+
+func TestSimulatorFacade(t *testing.T) {
+	w, err := Synthetic(SyntheticConfig{Ops: 20000, LocalityFraction: 0.9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewSimulator(SimConfig{Memory: MemoryORAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := base.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := NewSimulator(SimConfig{Memory: MemoryORAM, Scheme: SchemeDynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynRes, err := dyn.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRes.MemOps != 20000 || dynRes.MemOps != 20000 {
+		t.Fatalf("op counts: %d/%d", baseRes.MemOps, dynRes.MemOps)
+	}
+	if dynRes.ORAM.Merges == 0 {
+		t.Fatal("dynamic scheme inert through the facade")
+	}
+	if baseRes.Cycles == 0 || dynRes.MemoryAccesses == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+func TestSimulatorDRAMvsORAM(t *testing.T) {
+	w, err := Synthetic(SyntheticConfig{Ops: 15000, LocalityFraction: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := NewSimulator(SimConfig{Memory: MemoryDRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := dram.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oram, err := NewSimulator(SimConfig{Memory: MemoryORAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := oram.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.Cycles <= dr.Cycles {
+		t.Fatalf("ORAM (%d) not slower than DRAM (%d)", or.Cycles, dr.Cycles)
+	}
+}
+
+func TestSimulatorKnobs(t *testing.T) {
+	// Every public knob must produce a valid system.
+	cfgs := []SimConfig{
+		{Memory: MemoryORAM, Scheme: SchemeStatic, MaxSuperBlock: 4},
+		{Memory: MemoryORAM, Z: 4, StashBlocks: 50},
+		{Memory: MemoryORAM, Periodic: true, Oint: 64},
+		{Memory: MemoryDRAM, StreamPrefetcher: true, BandwidthGBps: 8},
+		{Memory: MemoryORAM, CacheLineBytes: 64, ORAMBlocks: 1 << 16, WarmupOps: 500},
+	}
+	w, err := Synthetic(SyntheticConfig{Ops: 4000, LocalityFraction: 0.7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cfgs {
+		s, err := NewSimulator(c)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if _, err := s.Run(w); err != nil {
+			t.Fatalf("config %d run: %v", i, err)
+		}
+	}
+	// Invalid: prefetcher + scheme.
+	if _, err := NewSimulator(SimConfig{Scheme: SchemeDynamic, StreamPrefetcher: true}); err == nil {
+		t.Fatal("prefetcher + scheme accepted")
+	}
+}
+
+func TestWorkloadConstructors(t *testing.T) {
+	if got := len(Splash2Workloads(1000)); got != 14 {
+		t.Fatalf("Splash2Workloads = %d", got)
+	}
+	if got := len(SPEC06Workloads(1000)); got != 10 {
+		t.Fatalf("SPEC06Workloads = %d", got)
+	}
+	for _, w := range []Workload{YCSBWorkload(1000), TPCCWorkload(1000)} {
+		if w.Name == "" || w.Ops != 1000 {
+			t.Fatalf("bad workload %+v", w)
+		}
+		g := w.generator()
+		n := 0
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 1000 {
+			t.Fatalf("%s yielded %d ops", w.Name, n)
+		}
+	}
+	if _, err := Synthetic(SyntheticConfig{Ops: 10, LocalityFraction: 2}); err == nil {
+		t.Fatal("bad locality accepted")
+	}
+}
+
+func TestZeroWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero Workload did not panic")
+		}
+	}()
+	var w Workload
+	w.generator()
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 22 { // 18 paper tables/figures + 4 ablations
+		t.Fatalf("ExperimentIDs = %d", len(ids))
+	}
+	if _, ok := ExperimentTitle("fig8a"); !ok {
+		t.Fatal("missing title")
+	}
+	tb, err := Experiment("table1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "table1" || len(tb.Rows) == 0 || tb.Format() == "" || tb.CSV() == "" {
+		t.Fatalf("bad table: %+v", tb)
+	}
+	if v, ok := tb.Cell("Z", "paper"); !ok || v != 3 {
+		t.Fatalf("Cell(Z, paper) = %v, %v", v, ok)
+	}
+	if _, err := Experiment("nope", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
