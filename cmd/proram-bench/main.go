@@ -58,7 +58,7 @@ func main() {
 }
 
 func runOne(id string, scale float64, csv bool, outDir string) error {
-	start := time.Now()
+	start := time.Now() //proram:allow determinism wall-clock timing is reporting-only and never feeds the simulation
 	tb, err := exp.Run(id, exp.Options{Scale: scale})
 	if err != nil {
 		return err
@@ -70,6 +70,7 @@ func runOne(id string, scale float64, csv bool, outDir string) error {
 		body = tb.Format()
 	}
 	fmt.Print(body)
+	//proram:allow determinism elapsed time is printed for the operator, not recorded in results
 	fmt.Printf("# elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {

@@ -1,0 +1,184 @@
+// Command proram-vet runs the repo-specific static-analysis suite: the
+// determinism, maporder, oblivious, panicdiscipline, seedplumbing and
+// allowhygiene passes of proram/internal/analysis.
+//
+// Usage:
+//
+//	go run ./cmd/proram-vet ./...
+//	go run ./cmd/proram-vet -checks determinism,maporder ./internal/oram
+//
+// It loads and type-checks the whole module (standard library imports
+// are resolved from GOROOT source, so no tooling beyond the Go
+// distribution is needed), prints findings as file:line:col: [check]
+// message, and exits nonzero if anything was reported. Suppressions are
+// //proram: directives in the source; see doc.go at the repository root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"proram/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	listFlag := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, p := range analysis.DefaultPasses() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	passes, err := analysis.SelectPasses(*checks)
+	if err != nil {
+		fatal(err)
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	extra, err := fixtureDirs(root, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := analysis.Load(root, extra...)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := selectPackages(prog, root, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := analysis.NewRunner(prog).Run(passes, pkgs)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "proram-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("proram-vet: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// fixtureDirs collects directories for patterns that point under a
+// testdata tree. The module walk skips testdata on purpose, so analyzing
+// the golden fixtures (e.g. to see the expected findings fire and the
+// driver exit nonzero) requires loading those directories explicitly.
+func fixtureDirs(root string, patterns []string) ([]string, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pat := range patterns {
+		recursive := strings.HasSuffix(pat, "/...")
+		abs := filepath.Join(cwd, strings.TrimSuffix(pat, "/..."))
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || !strings.Contains(filepath.ToSlash(rel), "testdata") {
+			continue
+		}
+		if !recursive {
+			out = append(out, abs)
+			continue
+		}
+		err = filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				out = append(out, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// selectPackages resolves command-line patterns ("./...", "./internal/oram",
+// "./internal/...") against the loaded packages. No patterns means every
+// module package; testdata packages participate only when a pattern names
+// them (they are never loaded otherwise).
+func selectPackages(prog *analysis.Program, root string, patterns []string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		return prog.ModulePackages(), nil
+	}
+	all := prog.Packages
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Package
+	seen := make(map[*analysis.Package]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		abs := filepath.Join(cwd, pat)
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("proram-vet: pattern %q points outside the module", pat)
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		matched := false
+		for _, pkg := range all {
+			ok := pkg.Rel == rel || (recursive && (rel == "" || strings.HasPrefix(pkg.Rel, rel+"/")))
+			if ok && !seen[pkg] {
+				seen[pkg] = true
+				out = append(out, pkg)
+			}
+			matched = matched || ok
+		}
+		if !matched {
+			return nil, fmt.Errorf("proram-vet: pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -22,4 +22,41 @@
 // documents the architecture and the substitutions made for the paper's
 // proprietary substrates; EXPERIMENTS.md records reproduced-vs-paper
 // results for every figure.
+//
+// # Static analysis directives
+//
+// The repository carries its own static-analysis suite (go run
+// ./cmd/proram-vet ./..., package proram/internal/analysis) that enforces
+// the two conventions the reproduction depends on: bit-for-bit
+// determinism from an explicit seed, and obliviousness of the ORAM access
+// path. Findings are suppressed or annotated in the source itself with
+// machine-readable //proram: comments:
+//
+//	//proram:allow <check>[,<check>...] <reason>
+//
+// suppresses the named checks (determinism, maporder, oblivious,
+// panicdiscipline, seedplumbing, allowhygiene) on the same line or the
+// line directly below; written before the package clause it covers the
+// whole file. The reason is mandatory in spirit and audited in review.
+//
+//	//proram:invariant <justification>
+//
+// attached to a panic call (same line or the line above) declares the
+// panic an internal invariant — unreachable unless the program itself is
+// buggy — and must say why in one line.
+//
+//	//proram:public <reason>
+//
+// attached to an assignment or condition declassifies a value the
+// oblivious taint pass would otherwise treat as secret; use only for
+// values that are public by protocol.
+//
+//	//proram:secret
+//
+// on a struct field marks it as a taint source (the canonical one is
+// mem.Block.Data, the decrypted payload).
+//
+// The allowhygiene pass keeps the vocabulary honest: unknown directives,
+// unknown check names, justification-free invariants and stale allows
+// that suppress nothing are themselves findings.
 package proram

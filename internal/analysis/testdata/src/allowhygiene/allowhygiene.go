@@ -1,0 +1,32 @@
+// Package allowhygiene is a proram-vet golden fixture for directive
+// hygiene: unknown kinds, malformed allows and stale suppressions are all
+// findings at the directive's own position, so the want expectations ride
+// in block comments on the same line.
+package allowhygiene
+
+/* want `unknown directive //proram:frobnicate` */ //proram:frobnicate whatever this means
+
+/* want `names no check` */ //proram:allow
+
+/* want `names unknown check "nosuchcheck"` */ //proram:allow nosuchcheck because reasons
+
+/* want `needs a one-line justification` */ //proram:invariant
+
+/* want `suppresses nothing` */ //proram:allow panicdiscipline fixture: nothing on the next line panics
+
+func fine() int {
+	//proram:invariant fixture: attached to the panic below and justified, so only hygiene findings remain
+	panic("unreachable")
+}
+
+func usedAllow(m map[string]int) []string {
+	var keys []string
+	//proram:allow maporder fixture: a used allow must not be reported stale
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+var _ = fine
+var _ = usedAllow

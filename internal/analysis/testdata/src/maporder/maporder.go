@@ -1,0 +1,62 @@
+// Package maporder is a proram-vet golden fixture for the map-iteration
+// pass: order-sensitive loops must be flagged, provably commutative ones
+// must not.
+package maporder
+
+func appendKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is randomized`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func countBig(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 10 {
+			n++
+		}
+	}
+	return n
+}
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+func firstOver(m map[string]int, limit int) string {
+	for k, v := range m { // want `map iteration order is randomized`
+		if v > limit {
+			return k
+		}
+	}
+	return ""
+}
+
+func drain(m map[string]bool) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func allowedAppend(m map[string]int) []string {
+	var keys []string
+	//proram:allow maporder fixture: the caller sorts the returned slice
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,41 @@
+// Package panicdiscipline is a proram-vet golden fixture: bare library
+// panics must be flagged, error returns and justified invariants must not,
+// and a justification-free //proram:invariant is itself a finding.
+package panicdiscipline
+
+import "errors"
+
+var errNegative = errors.New("negative input")
+
+func validated(n int) error {
+	if n < 0 {
+		return errNegative
+	}
+	return nil
+}
+
+func bare(n int) {
+	if n < 0 {
+		panic("negative") // want `panic in library code: return an error`
+	}
+}
+
+func justified(n int) {
+	if n < 0 {
+		//proram:invariant fixture: callers validate n at the API boundary
+		panic("negative")
+	}
+}
+
+func justifiedTrailing(n int) {
+	if n < 0 {
+		panic("negative") //proram:invariant fixture: a trailing justification works too
+	}
+}
+
+func unjustified(n int) {
+	if n < 0 {
+		//proram:invariant
+		panic("negative") // want `needs a one-line justification`
+	}
+}

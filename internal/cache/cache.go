@@ -68,6 +68,7 @@ type Cache struct {
 // New builds an empty cache.
 func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
+		//proram:invariant configuration errors are programming errors; public entry points run Config.Validate before construction
 		panic(err)
 	}
 	n := cfg.Sets()

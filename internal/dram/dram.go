@@ -80,6 +80,7 @@ type Model struct {
 // public API validates before reaching here).
 func New(cfg Config) *Model {
 	if err := cfg.Validate(); err != nil {
+		//proram:invariant configuration errors are programming errors; public entry points run Config.Validate before construction
 		panic(err)
 	}
 	return &Model{

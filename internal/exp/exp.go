@@ -54,6 +54,7 @@ type Row struct {
 // AddRow appends a row, checking arity.
 func (t *Table) AddRow(label string, cells ...float64) {
 	if len(cells) != len(t.Columns) {
+		//proram:invariant a row arity mismatch is a harness bug in a compiled-in experiment table, not runtime input
 		panic(fmt.Sprintf("exp: row %q has %d cells for %d columns", label, len(cells), len(t.Columns)))
 	}
 	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
@@ -83,6 +84,7 @@ func (t *Table) Cell(rowLabel, column string) (float64, bool) {
 func (t *Table) MustCell(rowLabel, column string) float64 {
 	v, ok := t.Cell(rowLabel, column)
 	if !ok {
+		//proram:invariant Must-prefixed accessor, documented to panic when the harness asks for a cell it never produced
 		panic(fmt.Sprintf("exp: %s has no cell (%q, %q)", t.ID, rowLabel, column))
 	}
 	return v
@@ -146,6 +148,7 @@ var registry = map[string]struct {
 // register wires an experiment id to its runner; called from init().
 func register(id, title string, r Runner) {
 	if _, dup := registry[id]; dup {
+		//proram:invariant duplicate registration is an init-time wiring mistake that must stop the binary
 		panic("exp: duplicate experiment " + id)
 	}
 	registry[id] = struct {
@@ -157,6 +160,7 @@ func register(id, title string, r Runner) {
 // IDs returns every registered experiment id, sorted.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
+	//proram:allow maporder keys are collected then sorted before use
 	for id := range registry {
 		ids = append(ids, id)
 	}

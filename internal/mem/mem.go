@@ -25,9 +25,11 @@ const indexMask = (BlockID(1) << levelShift) - 1
 // that Nil can never collide with a real block).
 func MakeID(level int, index uint64) BlockID {
 	if level < 0 || level >= 255 {
+		//proram:invariant an out-of-range hierarchy level means the caller's geometry is corrupt; IDs must never encode it
 		panic(fmt.Sprintf("mem: hierarchy level %d out of range", level))
 	}
 	if index > uint64(indexMask) {
+		//proram:invariant an index over 56 bits cannot be encoded; configurations size hierarchies orders of magnitude below this
 		panic(fmt.Sprintf("mem: block index %d overflows 56 bits", index))
 	}
 	return BlockID(uint64(level)<<levelShift | index)
@@ -48,6 +50,21 @@ func (id BlockID) String() string {
 		return "blk<nil>"
 	}
 	return fmt.Sprintf("blk<L%d:%d>", id.Level(), id.Index())
+}
+
+// Block is the canonical payload record: one ORAM block as the trusted
+// controller sees it when a functional (data-carrying) mode is layered on
+// top of the timing model. The payload is secret in the obliviousness
+// sense — branching on it correlates the access trace with the data that
+// ORAM exists to hide — so the static-analysis suite (proram-vet's
+// oblivious pass) tracks reads of Data and flags control flow conditioned
+// on them. Lengths and identifiers are public.
+type Block struct {
+	// ID names the block; levels and indices are public metadata.
+	ID BlockID
+	// Data holds the payload bytes.
+	//proram:secret payload bytes must never steer control flow
+	Data []byte
 }
 
 // Leaf is a leaf label of the ORAM binary tree, in [0, 2^L).

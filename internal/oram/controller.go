@@ -71,12 +71,16 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	st, err := stash.New(cfg.StashLimit)
+	if err != nil {
+		return nil, err
+	}
 	levels := cfg.TreeLevels(pm.TotalBlocks())
 	c := &Controller{
 		cfg:     cfg,
 		policy:  superblock.New(cfg.Super),
 		tr:      tree.New(levels, cfg.Z),
-		st:      stash.New(cfg.StashLimit),
+		st:      st,
 		pm:      pm,
 		plb:     posmap.NewPLB(cfg.PLBBlocks),
 		rnd:     rng.New(cfg.Seed),
@@ -120,6 +124,17 @@ func (c *Controller) Trace() []TraceEvent { return c.trace }
 // randLeaf draws a fresh uniform leaf label.
 func (c *Controller) randLeaf() mem.Leaf {
 	return mem.Leaf(c.rnd.Uint64n(c.tr.Leaves()))
+}
+
+// mustAdd stashes a block, converting a stash error into a controller
+// invariant failure: the controller only adds blocks it just removed from
+// the tree or proved absent from the stash, so a rejection means the
+// protocol state is corrupt.
+func (c *Controller) mustAdd(id mem.BlockID, leaf mem.Leaf) {
+	if err := c.st.Add(id, leaf); err != nil {
+		//proram:invariant callers add only blocks removed from the tree or proven absent, so a stash rejection is unrecoverable state corruption
+		panic("oram: " + err.Error())
+	}
 }
 
 // leafOf returns the current mapping of any block, consulting the on-chip
@@ -190,7 +205,7 @@ func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind,
 
 	c.scratch = c.tr.RemovePath(leaf, c.scratch[:0])
 	for _, id := range c.scratch {
-		c.st.Add(id, c.leafOf(id))
+		c.mustAdd(id, c.leafOf(id))
 	}
 	if during != nil {
 		during()
@@ -222,6 +237,7 @@ func (c *Controller) backgroundEvictions() int {
 			break
 		}
 		if n > 100_000 {
+			//proram:invariant Path ORAM guarantees dummy accesses shrink an over-limit stash in expectation; 100k without progress means the eviction logic is broken
 			panic(fmt.Sprintf("oram: background eviction runaway (stash %d/%d)", c.st.Size(), c.st.Limit()))
 		}
 	}
@@ -259,8 +275,9 @@ func (c *Controller) accessPosMapBlock(ready uint64, id mem.BlockID, kind Access
 		case c.st.Contains(id):
 			c.st.SetLeaf(id, newLeaf)
 		case isNew:
-			c.st.Add(id, newLeaf)
+			c.mustAdd(id, newLeaf)
 		default:
+			//proram:invariant the position map said the block lives on readLeaf, which rawPathAccess just moved to the stash in full
 			panic(fmt.Sprintf("oram: position-map block %v not found on path %d", id, readLeaf))
 		}
 	})
@@ -281,6 +298,7 @@ func (c *Controller) Write(now uint64, index uint64) Result {
 
 func (c *Controller) access(now uint64, index uint64, wb bool) Result {
 	if index >= c.cfg.NumBlocks {
+		//proram:invariant the access path deliberately has no error channel; an out-of-range index is a caller bug, not simulated input
 		panic(fmt.Sprintf("oram: block index %d out of range (%d blocks)", index, c.cfg.NumBlocks))
 	}
 	pathsBefore := c.stats.PathAccesses

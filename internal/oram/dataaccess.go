@@ -68,8 +68,9 @@ func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []
 			case c.st.Contains(id):
 				c.st.SetLeaf(id, newLeaf)
 			case isNew:
-				c.st.Add(id, newLeaf)
+				c.mustAdd(id, newLeaf)
 			default:
+				//proram:invariant rawPathAccess just moved the whole read path into the stash, so a resident member cannot be missing
 				panic(fmt.Sprintf("oram: super block member %v missing from path %d and stash", id, readLeaf))
 			}
 		}
@@ -195,6 +196,7 @@ func (c *Controller) breakGroup(g group, slot int, keepLeaf mem.Leaf) group {
 		ge.Leaf = leaf
 		id := mem.MakeID(0, g.pbIdx*uint64(c.cfg.Fanout)+uint64(i))
 		if !c.st.SetLeaf(id, leaf) {
+			//proram:invariant the path read that triggered the break stashed every super-block member first
 			panic(fmt.Sprintf("oram: breaking super block but member %v not stashed", id))
 		}
 	}
@@ -265,6 +267,7 @@ func (c *Controller) mergeCheck(g group) {
 		g.pb.Entries[i].Leaf = neighborLeaf
 		id := mem.MakeID(0, g.pbIdx*uint64(c.cfg.Fanout)+uint64(i))
 		if !c.st.SetLeaf(id, neighborLeaf) {
+			//proram:invariant merge runs inside the path read that stashed all of the merging block's members
 			panic(fmt.Sprintf("oram: merging super block but member %v not stashed", id))
 		}
 	}

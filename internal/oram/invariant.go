@@ -2,6 +2,8 @@ package oram
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"proram/internal/mem"
 	"proram/internal/posmap"
@@ -17,53 +19,50 @@ import (
 //  5. All members of a super block share one leaf and one size, and the
 //     group is correctly aligned.
 //
+// Rather than stopping at the first problem it collects every violation
+// and reports them sorted, so a corrupted state produces one complete,
+// deterministic message regardless of traversal order — identical runs
+// yield byte-identical failures.
+//
 // It is O(total blocks) and intended for tests on small configurations.
 func (c *Controller) CheckInvariant() error {
+	var violations []string
+	addf := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
 	inTree := make(map[mem.BlockID]bool)
-	var err error
 	c.tr.ForEach(func(node uint64, id mem.BlockID) {
-		if err != nil {
-			return
-		}
 		if inTree[id] {
-			err = fmt.Errorf("block %v present twice in the tree", id)
+			addf("block %v present twice in the tree", id)
 			return
 		}
 		inTree[id] = true
 		leaf := c.leafOf(id)
 		if leaf == mem.NoLeaf {
-			err = fmt.Errorf("tree holds untouched block %v", id)
+			addf("tree holds untouched block %v", id)
 			return
 		}
 		if !c.tr.Contains(leaf, id) {
-			err = fmt.Errorf("block %v mapped to leaf %d is off its path", id, leaf)
+			addf("block %v mapped to leaf %d is off its path", id, leaf)
 		}
 	})
-	if err != nil {
-		return err
-	}
 	for node := uint64(1); node <= c.tr.Buckets(); node++ {
 		if n := c.tr.BucketCount(node); n > c.cfg.Z {
-			return fmt.Errorf("bucket %d holds %d > Z=%d blocks", node, n, c.cfg.Z)
+			addf("bucket %d holds %d > Z=%d blocks", node, n, c.cfg.Z)
 		}
 	}
 	inStash := make(map[mem.BlockID]bool)
 	c.st.ForEach(func(id mem.BlockID, leaf mem.Leaf) {
-		if err != nil {
-			return
-		}
 		inStash[id] = true
 		if inTree[id] {
-			err = fmt.Errorf("block %v resident in both tree and stash", id)
+			addf("block %v resident in both tree and stash", id)
 			return
 		}
 		if got := c.leafOf(id); got != leaf {
-			err = fmt.Errorf("block %v stash leaf %d disagrees with position map %d", id, leaf, got)
+			addf("block %v stash leaf %d disagrees with position map %d", id, leaf, got)
 		}
 	})
-	if err != nil {
-		return err
-	}
 
 	// Residency and super block grouping for data blocks.
 	fanout := uint64(c.cfg.Fanout)
@@ -74,25 +73,27 @@ func (c *Controller) CheckInvariant() error {
 			id := mem.MakeID(0, pbIdx*fanout+uint64(s))
 			if e.Leaf == mem.NoLeaf {
 				if inTree[id] || inStash[id] {
-					return fmt.Errorf("untouched block %v is resident", id)
+					addf("untouched block %v is resident", id)
 				}
 				continue
 			}
 			if !inTree[id] && !inStash[id] {
-				return fmt.Errorf("touched block %v (leaf %d) is nowhere", id, e.Leaf)
+				addf("touched block %v (leaf %d) is nowhere", id, e.Leaf)
 			}
 			n := int(e.SBSize)
 			if n < 1 || n&(n-1) != 0 {
-				return fmt.Errorf("block %v has bad super block size %d", id, n)
+				addf("block %v has bad super block size %d", id, n)
+				continue
 			}
 			g := posmap.GroupStart(s, n)
 			if g+n > len(pb.Entries) {
-				return fmt.Errorf("block %v group [%d,%d) overflows its pos-map block", id, g, g+n)
+				addf("block %v group [%d,%d) overflows its pos-map block", id, g, g+n)
+				continue
 			}
 			for i := g; i < g+n; i++ {
 				m := pb.Entries[i]
 				if m.Leaf != e.Leaf || m.SBSize != e.SBSize {
-					return fmt.Errorf("super block of %v inconsistent at offset %d: leaf %d/%d size %d/%d",
+					addf("super block of %v inconsistent at offset %d: leaf %d/%d size %d/%d",
 						id, i, m.Leaf, e.Leaf, m.SBSize, e.SBSize)
 				}
 			}
@@ -106,16 +107,22 @@ func (c *Controller) CheckInvariant() error {
 			leaf := c.leafOf(id)
 			if leaf == mem.NoLeaf {
 				if inTree[id] || inStash[id] {
-					return fmt.Errorf("untouched pos-map block %v is resident", id)
+					addf("untouched pos-map block %v is resident", id)
 				}
 				continue
 			}
 			if !inTree[id] && !inStash[id] {
-				return fmt.Errorf("touched pos-map block %v (leaf %d) is nowhere", id, leaf)
+				addf("touched pos-map block %v (leaf %d) is nowhere", id, leaf)
 			}
 		}
 	}
-	return nil
+
+	if len(violations) == 0 {
+		return nil
+	}
+	sort.Strings(violations)
+	return fmt.Errorf("oram: %d invariant violation(s):\n  %s",
+		len(violations), strings.Join(violations, "\n  "))
 }
 
 // StashSize exposes the current stash occupancy for tests and reporting.

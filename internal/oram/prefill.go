@@ -73,7 +73,7 @@ func (c *Controller) prefill() {
 		}
 		c.scratch = c.tr.RemovePath(leaf, c.scratch[:0])
 		for _, id := range c.scratch {
-			c.st.Add(id, c.leafOf(id))
+			c.mustAdd(id, c.leafOf(id))
 		}
 		c.st.EvictToPath(c.tr, leaf)
 		if c.st.Size() < before {
@@ -101,5 +101,5 @@ func (c *Controller) place(id mem.BlockID, leaf mem.Leaf) {
 			return
 		}
 	}
-	c.st.Add(id, leaf)
+	c.mustAdd(id, leaf)
 }

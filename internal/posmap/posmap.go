@@ -194,9 +194,11 @@ func (h *Hierarchy) Fanout() int { return h.cfg.Fanout }
 // materializing it on first touch.
 func (h *Hierarchy) Block(level int, index uint64) *Block {
 	if level < 1 || level > h.Depth() {
+		//proram:invariant levels come from mem.BlockID values the controller built with MakeID against this hierarchy's depth
 		panic(fmt.Sprintf("posmap: Block level %d out of range [1,%d]", level, h.Depth()))
 	}
 	if index >= h.counts[level] {
+		//proram:invariant indices come from mem.BlockID values bounds-checked at construction, so a hot-path error return would only hide corruption
 		panic(fmt.Sprintf("posmap: Block index %d out of range at level %d", index, level))
 	}
 	return h.materialize(level, index)
@@ -214,6 +216,7 @@ func (h *Hierarchy) Parent(level int, index uint64) (uint64, int) {
 // TopLeaf/SetTopLeaf instead.
 func (h *Hierarchy) EntryFor(level int, index uint64) *Entry {
 	if level >= h.Depth() {
+		//proram:invariant callers branch to TopLeaf for level == Depth() first; reaching here with one is a recursion bug, not an input error
 		panic(fmt.Sprintf("posmap: EntryFor level %d has no parent block (depth %d)", level, h.Depth()))
 	}
 	pi, slot := h.Parent(level, index)

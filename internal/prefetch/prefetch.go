@@ -47,6 +47,7 @@ type Stream struct {
 // New builds the prefetcher; it panics on invalid configuration.
 func New(cfg Config) *Stream {
 	if err := cfg.Validate(); err != nil {
+		//proram:invariant configuration errors are programming errors; public entry points run Config.Validate before construction
 		panic(err)
 	}
 	return &Stream{cfg: cfg, streams: make([]stream, cfg.Streams)}

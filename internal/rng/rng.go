@@ -65,6 +65,7 @@ func (r *Source) Uint64() uint64 {
 // It uses Lemire's multiply-shift rejection method, which is unbiased.
 func (r *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		//proram:invariant documented contract matching math/rand: a zero bound is a caller bug, not recoverable input
 		panic("rng: Uint64n called with n == 0")
 	}
 	// Fast path for powers of two.
@@ -84,6 +85,7 @@ func (r *Source) Uint64n(n uint64) uint64 {
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
+		//proram:invariant documented contract matching math/rand.Intn: a non-positive bound is a caller bug
 		panic("rng: Intn called with n <= 0")
 	}
 	return int(r.Uint64n(uint64(n)))
@@ -126,9 +128,11 @@ type Zipf struct {
 // theta around 0.99 matches the YCSB default.
 func NewZipf(src *Source, n uint64, theta float64) *Zipf {
 	if n == 0 {
+		//proram:invariant a zero population is a construction-time programming error; workload configs validate sizes upstream
 		panic("rng: NewZipf with n == 0")
 	}
 	if theta <= 0 || theta >= 1 {
+		//proram:invariant theta outside (0,1) is a construction-time programming error; workload configs validate skew upstream
 		panic("rng: NewZipf requires 0 < theta < 1")
 	}
 	z := &Zipf{src: src, n: n, theta: theta}

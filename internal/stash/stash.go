@@ -32,15 +32,16 @@ type Stash struct {
 	carry     []mem.BlockID       // reusable carry list
 }
 
-// New returns an empty stash with the given soft capacity limit.
-func New(limit int) *Stash {
+// New returns an empty stash with the given soft capacity limit. It
+// rejects non-positive limits.
+func New(limit int) (*Stash, error) {
 	if limit < 1 {
-		panic(fmt.Sprintf("stash: limit %d must be positive", limit))
+		return nil, fmt.Errorf("stash: limit %d must be positive", limit)
 	}
 	return &Stash{
 		index: make(map[mem.BlockID]int),
 		limit: limit,
-	}
+	}, nil
 }
 
 // Limit returns the configured soft capacity.
@@ -56,20 +57,22 @@ func (s *Stash) HighWater() int { return s.highWater }
 // i.e. whether the controller must issue background evictions.
 func (s *Stash) OverLimit() bool { return len(s.index) > s.limit }
 
-// Add inserts a block mapped to leaf. Adding an already-present block is a
-// programming error and panics.
-func (s *Stash) Add(id mem.BlockID, leaf mem.Leaf) {
+// Add inserts a block mapped to leaf. It errors on a nil id and on a
+// block that is already stashed; both indicate a protocol bug in the
+// caller, which decides whether that is fatal.
+func (s *Stash) Add(id mem.BlockID, leaf mem.Leaf) error {
 	if id.IsNil() {
-		panic("stash: Add with nil block")
+		return fmt.Errorf("stash: Add with nil block")
 	}
 	if _, ok := s.index[id]; ok {
-		panic(fmt.Sprintf("stash: duplicate add of %v", id))
+		return fmt.Errorf("stash: duplicate add of %v", id)
 	}
 	s.index[id] = len(s.order)
 	s.order = append(s.order, entry{id: id, leaf: leaf})
 	if len(s.index) > s.highWater {
 		s.highWater = len(s.index)
 	}
+	return nil
 }
 
 // Contains reports whether id is stashed.
@@ -169,6 +172,7 @@ func (s *Stash) EvictToPath(t *tree.Tree, accessLeaf mem.Leaf) int {
 			id := carry[0]
 			carry = carry[1:]
 			if !t.PlaceAt(accessLeaf, depth, id) {
+				//proram:invariant FreeAt just reported a free slot on this exact bucket, so PlaceAt cannot fail
 				panic("stash: tree rejected placement into bucket with free slots")
 			}
 			pos := s.index[id]

@@ -10,9 +10,25 @@ import (
 
 func id(i uint64) mem.BlockID { return mem.MakeID(0, i) }
 
+func mustNew(t *testing.T, limit int) *Stash {
+	t.Helper()
+	s, err := New(limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustAdd(t *testing.T, s *Stash, id mem.BlockID, leaf mem.Leaf) {
+	t.Helper()
+	if err := s.Add(id, leaf); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAddRemoveContains(t *testing.T) {
-	s := New(10)
-	s.Add(id(1), 5)
+	s := mustNew(t, 10)
+	mustAdd(t, s, id(1), 5)
 	if !s.Contains(id(1)) || s.Size() != 1 {
 		t.Fatal("Add/Contains broken")
 	}
@@ -30,20 +46,23 @@ func TestAddRemoveContains(t *testing.T) {
 	}
 }
 
-func TestDuplicateAddPanics(t *testing.T) {
-	s := New(10)
-	s.Add(id(1), 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate Add did not panic")
-		}
-	}()
-	s.Add(id(1), 1)
+func TestDuplicateAddErrors(t *testing.T) {
+	s := mustNew(t, 10)
+	mustAdd(t, s, id(1), 0)
+	if err := s.Add(id(1), 1); err == nil {
+		t.Fatal("duplicate Add did not error")
+	}
+	if err := s.Add(mem.Nil, 0); err == nil {
+		t.Fatal("Add of nil block did not error")
+	}
+	if leaf, _ := s.Leaf(id(1)); leaf != 0 {
+		t.Fatalf("failed Add changed leaf to %d", leaf)
+	}
 }
 
 func TestSetLeaf(t *testing.T) {
-	s := New(10)
-	s.Add(id(1), 5)
+	s := mustNew(t, 10)
+	mustAdd(t, s, id(1), 5)
 	if !s.SetLeaf(id(1), 9) {
 		t.Fatal("SetLeaf failed for present block")
 	}
@@ -56,9 +75,9 @@ func TestSetLeaf(t *testing.T) {
 }
 
 func TestHighWaterAndOverLimit(t *testing.T) {
-	s := New(3)
+	s := mustNew(t, 3)
 	for i := uint64(0); i < 5; i++ {
-		s.Add(id(i), 0)
+		mustAdd(t, s, id(i), 0)
 	}
 	if !s.OverLimit() {
 		t.Fatal("stash of 5/3 not over limit")
@@ -77,9 +96,9 @@ func TestHighWaterAndOverLimit(t *testing.T) {
 }
 
 func TestForEachInsertionOrder(t *testing.T) {
-	s := New(100)
+	s := mustNew(t, 100)
 	for i := uint64(0); i < 50; i++ {
-		s.Add(id(i), mem.Leaf(i))
+		mustAdd(t, s, id(i), mem.Leaf(i))
 	}
 	s.Remove(id(10))
 	s.Remove(id(20))
@@ -97,9 +116,9 @@ func TestForEachInsertionOrder(t *testing.T) {
 
 func TestEvictToPathPlacesDeepFirst(t *testing.T) {
 	tr := tree.New(3, 2)
-	s := New(100)
+	s := mustNew(t, 100)
 	// A block mapped to the access leaf itself should land in the leaf bucket.
-	s.Add(id(1), 5)
+	mustAdd(t, s, id(1), 5)
 	n := s.EvictToPath(tr, 5)
 	if n != 1 {
 		t.Fatalf("evicted %d, want 1", n)
@@ -112,9 +131,9 @@ func TestEvictToPathPlacesDeepFirst(t *testing.T) {
 
 func TestEvictToPathRespectsCommonDepth(t *testing.T) {
 	tr := tree.New(3, 4)
-	s := New(100)
+	s := mustNew(t, 100)
 	// Leaf 0 and leaf 7 share only the root.
-	s.Add(id(1), 7)
+	mustAdd(t, s, id(1), 7)
 	if n := s.EvictToPath(tr, 0); n != 1 {
 		t.Fatalf("evicted %d, want 1", n)
 	}
@@ -129,11 +148,11 @@ func TestEvictToPathRespectsCommonDepth(t *testing.T) {
 
 func TestEvictToPathLeavesUnplaceable(t *testing.T) {
 	tr := tree.New(2, 1)
-	s := New(100)
+	s := mustNew(t, 100)
 	// Fill the root with another block; leaf-3 blocks on path 0 can only
 	// go to the root, so one of them must stay stashed.
-	s.Add(id(1), 3)
-	s.Add(id(2), 3)
+	mustAdd(t, s, id(1), 3)
+	mustAdd(t, s, id(2), 3)
 	n := s.EvictToPath(tr, 0)
 	if n != 1 {
 		t.Fatalf("evicted %d, want 1 (root has Z=1)", n)
@@ -145,10 +164,10 @@ func TestEvictToPathLeavesUnplaceable(t *testing.T) {
 
 func TestEvictEverythingOnOwnPath(t *testing.T) {
 	tr := tree.New(4, 4)
-	s := New(100)
+	s := mustNew(t, 100)
 	// All blocks mapped to the access leaf; path capacity is (4+1)*4 = 20.
 	for i := uint64(0); i < 20; i++ {
-		s.Add(id(i), 9)
+		mustAdd(t, s, id(i), 9)
 	}
 	if n := s.EvictToPath(tr, 9); n != 20 {
 		t.Fatalf("evicted %d, want 20", n)
@@ -161,10 +180,10 @@ func TestEvictEverythingOnOwnPath(t *testing.T) {
 func TestEvictionDeterminism(t *testing.T) {
 	run := func() []uint64 {
 		tr := tree.New(5, 2)
-		s := New(100)
+		s := mustNew(t, 100)
 		r := rng.New(42)
 		for i := uint64(0); i < 40; i++ {
-			s.Add(id(i), mem.Leaf(r.Uint64n(tr.Leaves())))
+			mustAdd(t, s, id(i), mem.Leaf(r.Uint64n(tr.Leaves())))
 		}
 		s.EvictToPath(tr, 11)
 		var left []uint64
@@ -187,7 +206,7 @@ func TestEvictionDeterminism(t *testing.T) {
 // leaf it is mapped to (the Path ORAM invariant), and no bucket exceeds Z.
 func TestEvictionInvariant(t *testing.T) {
 	tr := tree.New(6, 3)
-	s := New(1000)
+	s := mustNew(t, 1000)
 	r := rng.New(7)
 	leafOf := map[mem.BlockID]mem.Leaf{}
 	next := uint64(0)
@@ -197,7 +216,7 @@ func TestEvictionInvariant(t *testing.T) {
 			b := id(next)
 			next++
 			leaf := mem.Leaf(r.Uint64n(tr.Leaves()))
-			s.Add(b, leaf)
+			mustAdd(t, s, b, leaf)
 			leafOf[b] = leaf
 		}
 		access := mem.Leaf(r.Uint64n(tr.Leaves()))
@@ -216,9 +235,9 @@ func TestEvictionInvariant(t *testing.T) {
 }
 
 func TestCompaction(t *testing.T) {
-	s := New(10000)
+	s := mustNew(t, 10000)
 	for i := uint64(0); i < 1000; i++ {
-		s.Add(id(i), 0)
+		mustAdd(t, s, id(i), 0)
 	}
 	for i := uint64(0); i < 990; i++ {
 		s.Remove(id(i))
@@ -234,11 +253,10 @@ func TestCompaction(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadLimit(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New(0) did not panic")
+func TestNewRejectsBadLimit(t *testing.T) {
+	for _, limit := range []int{0, -1} {
+		if _, err := New(limit); err == nil {
+			t.Fatalf("New(%d) did not error", limit)
 		}
-	}()
-	New(0)
+	}
 }

@@ -136,6 +136,7 @@ type Policy struct {
 // validates earlier.
 func New(cfg Config) *Policy {
 	if err := cfg.Validate(); err != nil {
+		//proram:invariant configuration errors are programming errors; public entry points run Config.Validate before construction
 		panic(err)
 	}
 	if cfg.Scheme == None {

@@ -72,6 +72,7 @@ type Model struct {
 // NewModel builds the generator; it panics on invalid parameters.
 func NewModel(p ModelParams) *Model {
 	if err := p.Validate(); err != nil {
+		//proram:invariant model parameters are compiled into the benchmark suite and validated there
 		panic(err)
 	}
 	return &Model{p: p, rnd: rng.New(p.Seed)}
@@ -262,6 +263,7 @@ func ByName(all []ModelParams, names ...string) []ModelParams {
 			}
 		}
 		if !found {
+			//proram:invariant benchmark names come from compile-time constants in the harness, never user input
 			panic(fmt.Sprintf("trace: unknown benchmark %q", n))
 		}
 	}

@@ -70,6 +70,7 @@ type YCSB struct {
 // NewYCSB builds the generator; it panics on invalid configuration.
 func NewYCSB(cfg YCSBConfig) *YCSB {
 	if err := cfg.Validate(); err != nil {
+		//proram:invariant configuration errors are programming errors; public entry points run Config.Validate before construction
 		panic(err)
 	}
 	r := rng.New(cfg.Seed)

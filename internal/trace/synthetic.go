@@ -67,6 +67,7 @@ type Synthetic struct {
 // (the public API validates earlier).
 func NewSynthetic(cfg SyntheticConfig) *Synthetic {
 	if err := cfg.Validate(); err != nil {
+		//proram:invariant configuration errors are programming errors; public entry points run Config.Validate before construction
 		panic(err)
 	}
 	return &Synthetic{cfg: cfg, rnd: rng.New(cfg.Seed)}

@@ -28,9 +28,11 @@ type Tree struct {
 // 2^L) and bucket capacity z. It panics on nonsensical parameters.
 func New(levels, z int) *Tree {
 	if levels < 1 || levels > 40 {
+		//proram:invariant tree geometry comes from Config.Validate-checked parameters; a bad level count is a wiring bug
 		panic(fmt.Sprintf("tree: levels %d out of range [1,40]", levels))
 	}
 	if z < 1 {
+		//proram:invariant tree geometry comes from Config.Validate-checked parameters; a bad bucket size is a wiring bug
 		panic(fmt.Sprintf("tree: bucket size %d must be positive", z))
 	}
 	nodes := (uint64(1) << (levels + 1)) - 1
@@ -63,6 +65,7 @@ func (t *Tree) Used() uint64 { return t.used }
 // path to leaf. Depth 0 is the root; depth L is the leaf bucket itself.
 func (t *Tree) NodeAt(leaf mem.Leaf, depth int) uint64 {
 	if depth < 0 || depth > t.levels {
+		//proram:invariant depths are produced by loops bounded by t.levels; going past them is an algorithm bug
 		panic(fmt.Sprintf("tree: depth %d out of range [0,%d]", depth, t.levels))
 	}
 	leafNode := t.Leaves() + uint64(leaf)
@@ -132,6 +135,7 @@ func (t *Tree) ScanPath(leaf mem.Leaf, visit func(depth int, id mem.BlockID)) {
 // phase primitive (step 5).
 func (t *Tree) PlaceAt(leaf mem.Leaf, depth int, id mem.BlockID) bool {
 	if id.IsNil() {
+		//proram:invariant placing Nil would corrupt the free-slot accounting silently; callers iterate live stash entries only
 		panic("tree: PlaceAt with nil block")
 	}
 	base := t.slotBase(t.NodeAt(leaf, depth))

@@ -153,6 +153,7 @@ type Workload struct {
 
 func (w Workload) generator() trace.Generator {
 	if w.factory == nil {
+		//proram:invariant a zero Workload is a compile-time misuse; every constructor sets the factory
 		panic("proram: zero Workload; use a workload constructor")
 	}
 	return w.factory()
