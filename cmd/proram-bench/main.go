@@ -5,10 +5,14 @@
 //	proram-bench -list
 //	proram-bench -exp fig8a [-scale 0.5] [-csv] [-out results/]
 //	proram-bench -all [-scale 0.25]
+//	proram-bench -exp fig5 -obs -trace-out trace.json -metrics-out metrics.json
 //
 // Each experiment prints the same rows/series the paper's figure plots
 // (see DESIGN.md §5 for the mapping). Scale 1 reproduces the full-size
-// runs; smaller scales shrink every workload proportionally.
+// runs; smaller scales shrink every workload proportionally. With -obs the
+// simulated systems are instrumented: -trace-out captures a Chrome
+// trace-event file (load in chrome://tracing or Perfetto) and -metrics-out
+// captures the deterministic metrics dump.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"proram/internal/exp"
+	"proram/internal/obs"
 )
 
 func main() {
@@ -29,9 +34,22 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "workload scale factor (1 = full size)")
 		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		out   = flag.String("out", "", "directory to also write per-experiment files into")
+
+		obsOn       = flag.Bool("obs", false, "instrument the simulated systems (metrics, time series, flight recorder)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (implies -obs)")
+		metricsOut  = flag.String("metrics-out", "", "write the deterministic metrics JSON dump to this file (implies -obs)")
+		sampleEvery = flag.Uint64("sample-every", 50_000, "simulated cycles between time-series samples")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
 
+	ob, err := setupObs(*obsOn, *traceOut, *metricsOut, *sampleEvery)
+	if err != nil {
+		fatal(err)
+	}
 	switch {
 	case *list:
 		for _, id := range exp.IDs() {
@@ -41,25 +59,26 @@ func main() {
 		return
 	case *all:
 		for _, id := range exp.IDs() {
-			if err := runOne(id, *scale, *csv, *out); err != nil {
+			if err := runOne(id, *scale, *csv, *out, ob.rec); err != nil {
 				fatal(err)
 			}
 		}
-		return
 	case *expID != "":
-		if err := runOne(*expID, *scale, *csv, *out); err != nil {
+		if err := runOne(*expID, *scale, *csv, *out, ob.rec); err != nil {
 			fatal(err)
 		}
-		return
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := ob.finish(); err != nil {
+		fatal(err)
+	}
 }
 
-func runOne(id string, scale float64, csv bool, outDir string) error {
+func runOne(id string, scale float64, csv bool, outDir string, rec *obs.Recorder) error {
 	start := time.Now() //proram:allow determinism wall-clock timing is reporting-only and never feeds the simulation
-	tb, err := exp.Run(id, exp.Options{Scale: scale})
+	tb, err := exp.Run(id, exp.Options{Scale: scale, Obs: rec})
 	if err != nil {
 		return err
 	}
@@ -70,8 +89,11 @@ func runOne(id string, scale float64, csv bool, outDir string) error {
 		body = tb.Format()
 	}
 	fmt.Print(body)
+	fmt.Println()
+	// Elapsed time goes to stderr: stdout carries only the reproducible
+	// table so redirecting it yields a diffable artifact.
 	//proram:allow determinism elapsed time is printed for the operator, not recorded in results
-	fmt.Printf("# elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "# elapsed: %s\n", time.Since(start).Round(time.Millisecond))
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
@@ -83,6 +105,67 @@ func runOne(id string, scale float64, csv bool, outDir string) error {
 		if err := os.WriteFile(filepath.Join(outDir, id+ext), []byte(body), 0o644); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// obsOutputs owns the bench-wide recorder and its output files. Every
+// system each experiment builds shares the one recorder and appears in
+// the trace as a separate process.
+type obsOutputs struct {
+	rec         *obs.Recorder
+	traceFile   *os.File
+	metricsFile *os.File
+}
+
+func setupObs(enable bool, tracePath, metricsPath string, sampleEvery uint64) (*obsOutputs, error) {
+	if !enable && tracePath == "" && metricsPath == "" {
+		return &obsOutputs{}, nil
+	}
+	o := &obsOutputs{}
+	opts := obs.Options{SampleEvery: sampleEvery, FlightOut: os.Stderr}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		o.traceFile = f
+		opts.TraceOut = f
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return nil, err
+		}
+		o.metricsFile = f
+	}
+	o.rec = obs.New(opts)
+	return o, nil
+}
+
+// finish terminates the trace array, writes the metrics dump and closes
+// the output files.
+func (o *obsOutputs) finish() error {
+	if o.rec == nil {
+		return nil
+	}
+	if err := o.rec.CloseTrace(); err != nil {
+		return err
+	}
+	if o.traceFile != nil {
+		if err := o.traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", o.traceFile.Name())
+	}
+	if o.metricsFile != nil {
+		if err := o.rec.WriteMetrics(o.metricsFile); err != nil {
+			return err
+		}
+		if err := o.metricsFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", o.metricsFile.Name())
 	}
 	return nil
 }

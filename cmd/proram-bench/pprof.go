@@ -1,0 +1,20 @@
+package main
+
+import (
+	_ "expvar" // registers /debug/vars on the default mux
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+)
+
+// servePprof exposes the Go runtime's pprof and expvar endpoints for
+// profiling long experiment batches. The handlers only read runtime state,
+// so the server never affects experiment results.
+func servePprof(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "pprof server:", err)
+		}
+	}()
+}

@@ -34,8 +34,17 @@ func main() {
 		oint     = flag.Uint64("oint", 0, "periodic access interval in cycles (0 = default)")
 		warmup   = flag.Uint64("warmup", 0, "unmeasured warmup operations")
 		seed     = flag.Uint64("seed", 1, "workload / ORAM seed")
+
+		obsOn       = flag.Bool("obs", false, "enable observability (metrics, time series, flight recorder)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (implies -obs; load in chrome://tracing or Perfetto)")
+		metricsOut  = flag.String("metrics-out", "", "write the deterministic metrics JSON dump to this file (implies -obs)")
+		sampleEvery = flag.Uint64("sample-every", 50_000, "simulated cycles between time-series samples")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
 
 	w, err := pickWorkload(*workload, *ops, *locality, *seed)
 	if err != nil {
@@ -70,6 +79,28 @@ func main() {
 		fatal(fmt.Errorf("unknown scheme %q", *scheme))
 	}
 
+	var obsFiles []*os.File
+	if *obsOn || *traceOut != "" || *metricsOut != "" {
+		oc := &proram.ObsConfig{SampleEvery: *sampleEvery, FlightOut: os.Stderr}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			oc.TraceOut = f
+			obsFiles = append(obsFiles, f)
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			oc.MetricsOut = f
+			obsFiles = append(obsFiles, f)
+		}
+		cfg.Obs = oc
+	}
+
 	s, err := proram.NewSimulator(cfg)
 	if err != nil {
 		fatal(err)
@@ -77,6 +108,15 @@ func main() {
 	res, err := s.Run(w)
 	if err != nil {
 		fatal(err)
+	}
+	if err := s.CloseObs(); err != nil {
+		fatal(err)
+	}
+	for _, f := range obsFiles {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", f.Name())
 	}
 
 	fmt.Printf("workload         %s (%d ops)\n", w.Name, w.Ops)

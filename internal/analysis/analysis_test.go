@@ -147,6 +147,13 @@ func TestObliviousFixture(t *testing.T) {
 	runFixture(t, []*Pass{Oblivious(fixtureBase + "oblivious")}, fixtureBase+"oblivious")
 }
 
+// TestObsFixture proves the taint pass catches secret-derived data
+// flowing into the observability layer (metric labels, trace arguments)
+// and leaves public and declassified emissions alone.
+func TestObsFixture(t *testing.T) {
+	runFixture(t, []*Pass{Oblivious(fixtureBase + "obs")}, fixtureBase+"obs")
+}
+
 func TestPanicDisciplineFixture(t *testing.T) {
 	runFixture(t, []*Pass{PanicDiscipline()}, fixtureBase+"panicdiscipline")
 }

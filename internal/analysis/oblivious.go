@@ -17,7 +17,11 @@ import (
 // *which* memory accesses happen next, which is exactly the
 // access-pattern leakage Path ORAM exists to remove ("Revisiting
 // Definitional Foundations of Oblivious RAM" catalogues how easily
-// secure-processor implementations violate this silently).
+// secure-processor implementations violate this silently). Calls into
+// the observability layer (internal/obs) are a second sink family: a
+// metric name, series value or trace argument derived from payload
+// bytes writes the secret straight into an exported file, so every
+// tainted argument to an obs call is reported.
 //
 // The default scope is the trusted controller surface: internal/oram and
 // internal/stash. Pass explicit module-relative scopes to analyze other
@@ -28,7 +32,7 @@ func Oblivious(scopes ...string) *Pass {
 	}
 	p := &Pass{
 		Name: "oblivious",
-		Doc:  "flag branches and loop bounds conditioned on secret block payload bytes",
+		Doc:  "flag branches, loop bounds and observability emissions that depend on secret block payload bytes",
 	}
 	p.Run = func(u *Unit) {
 		if !inScope(u.Pkg.Rel, scopes) {
@@ -96,6 +100,8 @@ func analyzeFuncTaint(u *Unit, fn *ast.FuncDecl) {
 					st.checkCond(e, "switch case")
 				}
 			}
+		case *ast.CallExpr:
+			st.checkObsEmission(n)
 		}
 		return true
 	})
@@ -260,4 +266,33 @@ func (st *taintState) checkCond(cond ast.Expr, what string) {
 		return
 	}
 	st.u.Reportf(cond.Pos(), "%s depends on secret block payload bytes; the resulting access pattern leaks data (declassify with //proram:public only if the value is public by protocol)", what)
+}
+
+// checkObsEmission reports secret-tainted arguments flowing into the
+// observability layer. Metrics and traces leave the trusted boundary
+// (they are written to export files an adversary may read), so a metric
+// name or event argument derived from payload bytes is a direct leak
+// even though no branch is taken on it.
+func (st *taintState) checkObsEmission(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := st.u.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() != st.u.Prog.ModulePath+"/internal/obs" {
+		return
+	}
+	for _, arg := range call.Args {
+		if !st.exprTainted(arg) {
+			continue
+		}
+		p := st.u.Prog.Fset.Position(arg.Pos())
+		if st.u.Pkg.directiveAt("public", p.Filename, p.Line) != nil {
+			continue
+		}
+		st.u.Reportf(arg.Pos(), "observability emission argument depends on secret block payload bytes; metrics and traces are exported off-chip (declassify with //proram:public only if the value is public by protocol)")
+	}
 }

@@ -8,7 +8,11 @@
 // computes completion times, it does not move data.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"proram/internal/obs"
+)
 
 // Config describes a DRAM device and the channel connecting it to the chip.
 type Config struct {
@@ -73,6 +77,18 @@ type Model struct {
 	bankUntil []uint64 // per-bank next-free time
 	busUntil  uint64   // channel next-free time
 	stats     Stats
+
+	obsAccesses *obs.Counter // nil when obs off
+	obsBulk     *obs.Counter
+	obsBytes    *obs.Counter
+}
+
+// Instrument attaches observability counters. Nil handles (the default)
+// keep every hook a single pointer check.
+func (m *Model) Instrument(accesses, bulk, bytes *obs.Counter) {
+	m.obsAccesses = accesses
+	m.obsBulk = bulk
+	m.obsBytes = bytes
 }
 
 // New builds a Model from cfg. It panics on an invalid configuration
@@ -131,6 +147,8 @@ func (m *Model) Access(now, addr, bytes uint64) uint64 {
 	m.stats.Accesses++
 	m.stats.BytesMoved += bytes
 	m.stats.BusyCycles += transfer
+	m.obsAccesses.Inc()
+	m.obsBytes.Add(bytes)
 	return done
 }
 
@@ -150,6 +168,8 @@ func (m *Model) BulkTransfer(now, bytes, extraLatency uint64) uint64 {
 	m.stats.BulkTransfers++
 	m.stats.BytesMoved += bytes
 	m.stats.BusyCycles += done - start
+	m.obsBulk.Inc()
+	m.obsBytes.Add(bytes)
 	return done
 }
 

@@ -31,14 +31,14 @@ func ablationPLB(opt Options) (*Table, error) {
 
 	ref := withWarmup(baseORAM(), p.Ops)
 	ref.ORAM.PLBBlocks = 128
-	refRep, err := runSim(ref, gf())
+	refRep, err := runSim(opt, ref, gf())
 	if err != nil {
 		return nil, err
 	}
 	for _, plb := range []int{0, 16, 64, 128, 512} {
 		cfg := withWarmup(baseORAM(), p.Ops)
 		cfg.ORAM.PLBBlocks = plb
-		rep, err := runSim(cfg, gf())
+		rep, err := runSim(opt, cfg, gf())
 		if err != nil {
 			return nil, fmt.Errorf("ablation_plb %d: %w", plb, err)
 		}
@@ -90,15 +90,15 @@ func ablationThreshold(opt Options) (*Table, error) {
 	}{"phase_synth", syntheticFactory(ops, 0.5, ops/8, opt.Seed), ops})
 
 	for _, c := range cases {
-		base, err := runSim(withWarmup(baseORAM(), c.ops), c.gf())
+		base, err := runSim(opt, withWarmup(baseORAM(), c.ops), c.gf())
 		if err != nil {
 			return nil, err
 		}
-		st, err := runSim(withWarmup(withScheme(baseORAM(), staticT), c.ops), c.gf())
+		st, err := runSim(opt, withWarmup(withScheme(baseORAM(), staticT), c.ops), c.gf())
 		if err != nil {
 			return nil, err
 		}
-		ad, err := runSim(withWarmup(withScheme(baseORAM(), dynScheme()), c.ops), c.gf())
+		ad, err := runSim(opt, withWarmup(withScheme(baseORAM(), dynScheme()), c.ops), c.gf())
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +131,7 @@ func ablationOint(opt Options) (*Table, error) {
 	fixed := withWarmup(baseORAM(), p.Ops)
 	fixed.ORAM.Periodic = true
 	fixed.ORAM.Oint = 50
-	fixedRep, err := runSim(fixed, gf())
+	fixedRep, err := runSim(opt, fixed, gf())
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +143,7 @@ func ablationOint(opt Options) (*Table, error) {
 		cfg.ORAM.Oint = 50
 		cfg.ORAM.DynamicOint = true
 		cfg.ORAM.OintMax = 50 * ladder
-		rep, err := runSim(cfg, gf())
+		rep, err := runSim(opt, cfg, gf())
 		if err != nil {
 			return nil, fmt.Errorf("ablation_oint ladder=%d: %w", ladder, err)
 		}
@@ -173,7 +173,7 @@ func ablationPrefill(opt Options) (*Table, error) {
 	for _, prefill := range []bool{true, false} {
 		cfg := withWarmup(baseORAM(), p.Ops)
 		cfg.ORAM.Prefill = prefill
-		rep, err := runSim(cfg, modelFactory(p)())
+		rep, err := runSim(opt, cfg, modelFactory(p)())
 		if err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"proram/internal/obs"
 	"proram/internal/sim"
 	"proram/internal/superblock"
 	"proram/internal/trace"
@@ -22,6 +23,10 @@ type Options struct {
 	Scale float64
 	// Seed offsets the workload seeds, for variance studies.
 	Seed uint64
+	// Obs attaches an observability recorder to every system the
+	// experiment builds; nil (the default) runs un-instrumented. Systems
+	// appear in the trace as successive processes.
+	Obs *obs.Recorder
 }
 
 func (o Options) scale(ops uint64) uint64 {
@@ -239,8 +244,11 @@ func statScheme(size int) superblock.Config {
 	return superblock.Config{Scheme: superblock.Static, MaxSize: size}
 }
 
-// runSim builds and runs one system on a fresh generator.
-func runSim(cfg sim.Config, g trace.Generator) (sim.Report, error) {
+// runSim builds and runs one system on a fresh generator, attaching the
+// options' recorder (if any) so every system an experiment builds shows up
+// in the trace.
+func runSim(opt Options, cfg sim.Config, g trace.Generator) (sim.Report, error) {
+	cfg.Obs = opt.Obs
 	s, err := sim.New(cfg)
 	if err != nil {
 		return sim.Report{}, err

@@ -42,7 +42,7 @@ func fig10(opt Options) (*Table, error) {
 	}
 	for _, p := range benches {
 		gf := modelFactory(p)
-		base, err := runSim(withWarmup(baseORAM(), p.Ops), gf())
+		base, err := runSim(opt, withWarmup(baseORAM(), p.Ops), gf())
 		if err != nil {
 			return nil, fmt.Errorf("fig10 %s: %w", p.Name, err)
 		}
@@ -51,7 +51,7 @@ func fig10(opt Options) (*Table, error) {
 			sb := dynScheme()
 			sb.CMerge = c.cMerge
 			sb.CBreak = c.cBreak
-			rep, err := runSim(withWarmup(withScheme(baseORAM(), sb), p.Ops), gf())
+			rep, err := runSim(opt, withWarmup(withScheme(baseORAM(), sb), p.Ops), gf())
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %s %s: %w", p.Name, c.label, err)
 			}
@@ -65,18 +65,18 @@ func fig10(opt Options) (*Table, error) {
 
 // sweepTriple runs oram/stat/dyn for one workload and one config mutation,
 // reporting completion time normalized to the insecure DRAM system.
-func sweepTriple(p trace.ModelParams, mutate func(*sim.Config)) (oramT, statT, dynT float64, err error) {
+func sweepTriple(opt Options, p trace.ModelParams, mutate func(*sim.Config)) (oramT, statT, dynT float64, err error) {
 	gf := modelFactory(p)
 	dramCfg := withWarmup(baseDRAM(), p.Ops)
 	mutate(&dramCfg)
-	dramRep, err := runSim(dramCfg, gf())
+	dramRep, err := runSim(opt, dramCfg, gf())
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	run := func(cfg sim.Config) (float64, error) {
 		cfg = withWarmup(cfg, p.Ops)
 		mutate(&cfg)
-		rep, err := runSim(cfg, gf())
+		rep, err := runSim(opt, cfg, gf())
 		if err != nil {
 			return 0, err
 		}
@@ -97,12 +97,12 @@ func sweepTriple(p trace.ModelParams, mutate func(*sim.Config)) (oramT, statT, d
 // sweepFigure builds a fig11/12/13/14-style table: rows are
 // benchmark/sweep-point combinations, columns are oram/stat/dyn completion
 // times normalized to DRAM.
-func sweepFigure(id, title string, benches []trace.ModelParams,
+func sweepFigure(opt Options, id, title string, benches []trace.ModelParams,
 	points []string, mutate func(point string, cfg *sim.Config)) (*Table, error) {
 	t := &Table{ID: id, Title: title, Columns: []string{"oram", "stat", "dyn"}}
 	for _, p := range benches {
 		for _, pt := range points {
-			o, s, d, err := sweepTriple(p, func(cfg *sim.Config) { mutate(pt, cfg) })
+			o, s, d, err := sweepTriple(opt, p, func(cfg *sim.Config) { mutate(pt, cfg) })
 			if err != nil {
 				return nil, fmt.Errorf("%s %s@%s: %w", id, p.Name, pt, err)
 			}
@@ -114,7 +114,7 @@ func sweepFigure(id, title string, benches []trace.ModelParams,
 }
 
 func fig11(opt Options) (*Table, error) {
-	return sweepFigure("fig11", "Completion time vs. DRAM bandwidth (GB/s)",
+	return sweepFigure(opt, "fig11", "Completion time vs. DRAM bandwidth (GB/s)",
 		sensitivityBenchmarks(opt, "ocean_c", "volrend"),
 		[]string{"4", "8", "16"},
 		func(pt string, cfg *sim.Config) {
@@ -125,7 +125,7 @@ func fig11(opt Options) (*Table, error) {
 }
 
 func fig12(opt Options) (*Table, error) {
-	return sweepFigure("fig12", "Completion time vs. stash size (blocks)",
+	return sweepFigure(opt, "fig12", "Completion time vs. stash size (blocks)",
 		sensitivityBenchmarks(opt, "ocean_c", "volrend"),
 		[]string{"25", "50", "100", "200", "400"},
 		func(pt string, cfg *sim.Config) {
@@ -136,7 +136,7 @@ func fig12(opt Options) (*Table, error) {
 }
 
 func fig13(opt Options) (*Table, error) {
-	return sweepFigure("fig13", "Completion time vs. Z",
+	return sweepFigure(opt, "fig13", "Completion time vs. Z",
 		sensitivityBenchmarks(opt, "fft", "ocean_c", "ocean_nc", "volrend"),
 		[]string{"Z3", "Z4"},
 		func(pt string, cfg *sim.Config) {
@@ -149,7 +149,7 @@ func fig13(opt Options) (*Table, error) {
 }
 
 func fig14(opt Options) (*Table, error) {
-	return sweepFigure("fig14", "Completion time vs. cacheline size (bytes)",
+	return sweepFigure(opt, "fig14", "Completion time vs. cacheline size (bytes)",
 		sensitivityBenchmarks(opt, "ocean_c", "volrend"),
 		[]string{"64", "128", "256"},
 		func(pt string, cfg *sim.Config) {

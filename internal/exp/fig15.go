@@ -32,20 +32,20 @@ func periodic(cfg sim.Config) sim.Config {
 // fig15Row measures one workload: speedups of non-periodic baseline ORAM,
 // periodic static, and periodic dynamic — all relative to the periodic
 // baseline ORAM, exactly as Figure 15 plots.
-func fig15Row(name string, ops uint64, gf genFactory) (oramS, statS, dynS float64, err error) {
-	periodicBase, err := runSim(withWarmup(periodic(baseORAM()), ops), gf())
+func fig15Row(opt Options, name string, ops uint64, gf genFactory) (oramS, statS, dynS float64, err error) {
+	periodicBase, err := runSim(opt, withWarmup(periodic(baseORAM()), ops), gf())
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("%s/periodic: %w", name, err)
 	}
-	plain, err := runSim(withWarmup(baseORAM(), ops), gf())
+	plain, err := runSim(opt, withWarmup(baseORAM(), ops), gf())
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	statRep, err := runSim(withWarmup(periodic(withScheme(baseORAM(), statScheme(2))), ops), gf())
+	statRep, err := runSim(opt, withWarmup(periodic(withScheme(baseORAM(), statScheme(2))), ops), gf())
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	dynRep, err := runSim(withWarmup(periodic(withScheme(baseORAM(), dynScheme())), ops), gf())
+	dynRep, err := runSim(opt, withWarmup(periodic(withScheme(baseORAM(), dynScheme())), ops), gf())
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -60,7 +60,7 @@ func fig15Suite(id, title string, suite []trace.ModelParams, opt Options,
 	memN := 0
 	for _, p := range suite {
 		p.Seed += opt.Seed
-		o, s, d, err := fig15Row(p.Name, p.Ops, modelFactory(p))
+		o, s, d, err := fig15Row(opt, p.Name, p.Ops, modelFactory(p))
 		if err != nil {
 			return nil, err
 		}
@@ -91,14 +91,14 @@ func fig15c(opt Options) (*Table, error) {
 	t := &Table{ID: "fig15c", Title: "Periodic ORAM, DBMS", Columns: []string{"oram", "stat_intvl", "dyn_intvl"}}
 	ycsbCfg := trace.DefaultYCSB(opt.scale(fig8Ops))
 	ycsbCfg.Seed += opt.Seed
-	o, s, d, err := fig15Row("YCSB", ycsbCfg.Ops, func() trace.Generator { return trace.NewYCSB(ycsbCfg) })
+	o, s, d, err := fig15Row(opt, "YCSB", ycsbCfg.Ops, func() trace.Generator { return trace.NewYCSB(ycsbCfg) })
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("YCSB", o, s, d)
 	tp := trace.TPCC(opt.scale(fig8Ops))
 	tp.Seed += opt.Seed
-	o, s, d, err = fig15Row("TPCC", tp.Ops, modelFactory(tp))
+	o, s, d, err = fig15Row(opt, "TPCC", tp.Ops, modelFactory(tp))
 	if err != nil {
 		return nil, err
 	}

@@ -28,24 +28,24 @@ func fig5(opt Options) (*Table, error) {
 		p.Seed += opt.Seed
 		gf := modelFactory(p)
 
-		dram, err := runSim(withWarmup(baseDRAM(), p.Ops), gf())
+		dram, err := runSim(opt, withWarmup(baseDRAM(), p.Ops), gf())
 		if err != nil {
 			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
 		}
 		dramPre := withWarmup(baseDRAM(), p.Ops)
 		dramPre.Prefetch = &pf
-		dramPreRep, err := runSim(dramPre, gf())
+		dramPreRep, err := runSim(opt, dramPre, gf())
 		if err != nil {
 			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
 		}
 
-		oramRep, err := runSim(withWarmup(baseORAM(), p.Ops), gf())
+		oramRep, err := runSim(opt, withWarmup(baseORAM(), p.Ops), gf())
 		if err != nil {
 			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
 		}
 		oramPre := withWarmup(baseORAM(), p.Ops)
 		oramPre.Prefetch = &pf
-		oramPreRep, err := runSim(oramPre, gf())
+		oramPreRep, err := runSim(opt, oramPre, gf())
 		if err != nil {
 			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
 		}

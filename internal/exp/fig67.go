@@ -54,15 +54,15 @@ func fig6a(opt Options) (*Table, error) {
 	ops := opt.scale(fig67Ops)
 	for _, loc := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
 		gf := syntheticFactory(ops, loc, 0, opt.Seed)
-		base, err := runSim(withWarmup(z4(baseORAM()), ops), gf())
+		base, err := runSim(opt, withWarmup(z4(baseORAM()), ops), gf())
 		if err != nil {
 			return nil, fmt.Errorf("fig6a loc=%v: %w", loc, err)
 		}
-		stat, err := runSim(withWarmup(z4(withScheme(baseORAM(), statScheme(2))), ops), gf())
+		stat, err := runSim(opt, withWarmup(z4(withScheme(baseORAM(), statScheme(2))), ops), gf())
 		if err != nil {
 			return nil, err
 		}
-		dyn, err := runSim(withWarmup(z4(withScheme(baseORAM(), dynScheme())), ops), gf())
+		dyn, err := runSim(opt, withWarmup(z4(withScheme(baseORAM(), dynScheme())), ops), gf())
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +83,7 @@ func fig6b(opt Options) (*Table, error) {
 	}
 	ops := opt.scale(fig67Ops)
 	gf := syntheticFactory(ops, 0.5, ops/8, opt.Seed)
-	base, err := runSim(withWarmup(z4(baseORAM()), ops), gf())
+	base, err := runSim(opt, withWarmup(z4(baseORAM()), ops), gf())
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +101,7 @@ func fig6b(opt Options) (*Table, error) {
 		{"am_ab", dynScheme()},
 	}
 	for _, v := range variants {
-		rep, err := runSim(withWarmup(z4(withScheme(baseORAM(), v.sb)), ops), gf())
+		rep, err := runSim(opt, withWarmup(z4(withScheme(baseORAM(), v.sb)), ops), gf())
 		if err != nil {
 			return nil, fmt.Errorf("fig6b %s: %w", v.name, err)
 		}
@@ -124,18 +124,18 @@ func fig7(opt Options) (*Table, error) {
 	}
 	ops := opt.scale(fig7Ops)
 	gf := syntheticFactory(ops, 1.0, 0, opt.Seed)
-	base, err := runSim(withWarmup(z4(baseORAM()), ops), gf())
+	base, err := runSim(opt, withWarmup(z4(baseORAM()), ops), gf())
 	if err != nil {
 		return nil, err
 	}
 	for _, size := range []int{2, 4, 8} {
-		stat, err := runSim(withWarmup(z4(withScheme(baseORAM(), statScheme(size))), ops), gf())
+		stat, err := runSim(opt, withWarmup(z4(withScheme(baseORAM(), statScheme(size))), ops), gf())
 		if err != nil {
 			return nil, fmt.Errorf("fig7 size=%d: %w", size, err)
 		}
 		dynCfg := dynScheme()
 		dynCfg.MaxSize = size
-		dyn, err := runSim(withWarmup(z4(withScheme(baseORAM(), dynCfg)), ops), gf())
+		dyn, err := runSim(opt, withWarmup(z4(withScheme(baseORAM(), dynCfg)), ops), gf())
 		if err != nil {
 			return nil, err
 		}

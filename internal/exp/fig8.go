@@ -29,20 +29,20 @@ type suiteRow struct {
 // runSuiteBenchmark measures one workload under DRAM, baseline ORAM, the
 // static scheme and PrORAM, using the standard warmup fraction so the
 // measured region is steady state (caches full, super blocks mature).
-func runSuiteBenchmark(name string, ops uint64, gf genFactory, memIntensive bool) (suiteRow, error) {
-	dramRep, err := runSim(withWarmup(baseDRAM(), ops), gf())
+func runSuiteBenchmark(opt Options, name string, ops uint64, gf genFactory, memIntensive bool) (suiteRow, error) {
+	dramRep, err := runSim(opt, withWarmup(baseDRAM(), ops), gf())
 	if err != nil {
 		return suiteRow{}, fmt.Errorf("%s/dram: %w", name, err)
 	}
-	oramRep, err := runSim(withWarmup(baseORAM(), ops), gf())
+	oramRep, err := runSim(opt, withWarmup(baseORAM(), ops), gf())
 	if err != nil {
 		return suiteRow{}, fmt.Errorf("%s/oram: %w", name, err)
 	}
-	statRep, err := runSim(withWarmup(withScheme(baseORAM(), statScheme(2)), ops), gf())
+	statRep, err := runSim(opt, withWarmup(withScheme(baseORAM(), statScheme(2)), ops), gf())
 	if err != nil {
 		return suiteRow{}, fmt.Errorf("%s/stat: %w", name, err)
 	}
-	dynRep, err := runSim(withWarmup(withScheme(baseORAM(), dynScheme()), ops), gf())
+	dynRep, err := runSim(opt, withWarmup(withScheme(baseORAM(), dynScheme()), ops), gf())
 	if err != nil {
 		return suiteRow{}, fmt.Errorf("%s/dyn: %w", name, err)
 	}
@@ -99,7 +99,7 @@ func splash2Rows(opt Options) ([]suiteRow, error) {
 	var rows []suiteRow
 	for _, p := range trace.Splash2(opt.scale(fig8Ops)) {
 		p.Seed += opt.Seed
-		r, err := runSuiteBenchmark(p.Name, p.Ops, modelFactory(p), trace.Splash2MemoryIntensive(p.Name))
+		r, err := runSuiteBenchmark(opt, p.Name, p.Ops, modelFactory(p), trace.Splash2MemoryIntensive(p.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +112,7 @@ func spec06Rows(opt Options) ([]suiteRow, error) {
 	var rows []suiteRow
 	for _, p := range trace.SPEC06(opt.scale(fig8Ops)) {
 		p.Seed += opt.Seed
-		r, err := runSuiteBenchmark(p.Name, p.Ops, modelFactory(p), trace.SPEC06MemoryIntensive(p.Name))
+		r, err := runSuiteBenchmark(opt, p.Name, p.Ops, modelFactory(p), trace.SPEC06MemoryIntensive(p.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -124,14 +124,14 @@ func spec06Rows(opt Options) ([]suiteRow, error) {
 func dbmsRows(opt Options) ([]suiteRow, error) {
 	ycsbCfg := trace.DefaultYCSB(opt.scale(fig8Ops))
 	ycsbCfg.Seed += opt.Seed
-	ycsb, err := runSuiteBenchmark("YCSB", ycsbCfg.Ops,
+	ycsb, err := runSuiteBenchmark(opt, "YCSB", ycsbCfg.Ops,
 		func() trace.Generator { return trace.NewYCSB(ycsbCfg) }, true)
 	if err != nil {
 		return nil, err
 	}
 	tp := trace.TPCC(opt.scale(fig8Ops))
 	tp.Seed += opt.Seed
-	tpcc, err := runSuiteBenchmark("TPCC", tp.Ops, modelFactory(tp), false)
+	tpcc, err := runSuiteBenchmark(opt, "TPCC", tp.Ops, modelFactory(tp), false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The export schema mirrors the in-memory structures with ordered slices
+// throughout — no Go maps ever touch the serialization path, so the JSON
+// is byte-deterministic: same registrations, same observations, same
+// bytes. encoding/json's float formatting (strconv shortest-round-trip)
+// is itself deterministic.
+
+type metricsDump struct {
+	Counters   []counterDump   `json:"counters"`
+	Gauges     []gaugeDump     `json:"gauges"`
+	Histograms []histogramDump `json:"histograms"`
+	Series     []seriesDump    `json:"series"`
+}
+
+type counterDump struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+type gaugeDump struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type histogramDump struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+type seriesDump struct {
+	Pid    int       `json:"pid"`
+	Name   string    `json:"name"`
+	Cycles []uint64  `json:"cycles"`
+	Values []float64 `json:"values"`
+}
+
+// writeMetricsJSON renders the registry and sampler state. Slices are
+// materialized (never nil) so absent sections export as [] rather than
+// null, keeping downstream parsing uniform.
+func writeMetricsJSON(w io.Writer, reg *Registry, sm *Sampler) error {
+	dump := metricsDump{
+		Counters:   make([]counterDump, 0, len(reg.counters)),
+		Gauges:     make([]gaugeDump, 0, len(reg.gauges)),
+		Histograms: make([]histogramDump, 0, len(reg.hists)),
+		Series:     make([]seriesDump, 0, len(sm.series)),
+	}
+	for _, c := range reg.counters {
+		dump.Counters = append(dump.Counters, counterDump{Name: c.name, Value: c.v})
+	}
+	for _, g := range reg.gauges {
+		dump.Gauges = append(dump.Gauges, gaugeDump{Name: g.name, Value: g.v})
+	}
+	for _, h := range reg.hists {
+		bounds := h.bounds
+		if bounds == nil {
+			bounds = []float64{}
+		}
+		dump.Histograms = append(dump.Histograms, histogramDump{
+			Name: h.name, Bounds: bounds, Counts: h.counts, Count: h.count, Sum: h.sum,
+		})
+	}
+	for _, s := range sm.series {
+		cycles := s.cycles
+		if cycles == nil {
+			cycles = []uint64{}
+		}
+		values := s.values
+		if values == nil {
+			values = []float64{}
+		}
+		dump.Series = append(dump.Series, seriesDump{Pid: s.pid, Name: s.name, Cycles: cycles, Values: values})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(dump)
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// drive pushes a fixed emission sequence through a recorder.
+func drive(r *Recorder) {
+	paths := r.Counter("oram.path_accesses")
+	hw := r.Gauge("stash.high_water")
+	sb := r.Histogram("oram.sb_size", PowerOfTwoBounds(4))
+	occ := r.Series("stash_occupancy")
+	r.OnSample(func(cycle uint64) { occ.Record(cycle, float64(cycle/100)) })
+	for i := uint64(0); i < 10; i++ {
+		paths.Inc()
+		hw.Max(float64(i))
+		sb.Observe(float64(1 + i%4))
+		r.Span("oram", "data", i*1000, 900, "leaf", i)
+		r.MaybeSample(i * 1000)
+	}
+	r.Instant("oram", "merge", 5000, "size", 4)
+	r.CounterEvent("oram", "stash", 6000, "blocks", 42)
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	drive(r) // must not panic
+	if err := r.WriteMetrics(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CloseTrace(); err != nil {
+		t.Fatal(err)
+	}
+	r.Flight("nothing", 0)
+	if got := r.FlightEvents(); got != nil {
+		t.Fatalf("nil recorder produced events: %v", got)
+	}
+}
+
+func TestNilRecorderAllocationFree(t *testing.T) {
+	var r *Recorder
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	s := r.Series("w")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		c.Inc()
+		g.Set(1)
+		g.Max(2)
+		h.Observe(3)
+		s.Record(4, 5)
+		r.MaybeSample(6)
+		r.Span("a", "b", 0, 1, "k", 2)
+		r.Instant("a", "b", 0, "k", 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %v times per op", allocs)
+	}
+}
+
+func TestDeterministicExport(t *testing.T) {
+	run := func() (metrics, trace string) {
+		var tr bytes.Buffer
+		r := New(Options{SampleEvery: 1000, TraceOut: &tr})
+		drive(r)
+		if err := r.CloseTrace(); err != nil {
+			t.Fatal(err)
+		}
+		var m bytes.Buffer
+		if err := r.WriteMetrics(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m.String(), tr.String()
+	}
+	m1, t1 := run()
+	m2, t2 := run()
+	if m1 != m2 {
+		t.Errorf("metrics dumps differ:\n%s\nvs\n%s", m1, m2)
+	}
+	if t1 != t2 {
+		t.Errorf("trace dumps differ:\n%s\nvs\n%s", t1, t2)
+	}
+	// Both artifacts must be well-formed JSON.
+	var any1, any2 interface{}
+	if err := json.Unmarshal([]byte(m1), &any1); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(t1), &any2); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	events, ok := any2.([]interface{})
+	if !ok || len(events) == 0 {
+		t.Fatalf("trace is not a non-empty JSON array")
+	}
+}
+
+func TestRegistryOrderAndDedup(t *testing.T) {
+	var reg Registry
+	a := reg.Counter("a")
+	b := reg.Counter("b")
+	if reg.Counter("a") != a || reg.Counter("b") != b {
+		t.Fatal("re-registration did not return the existing handle")
+	}
+	a.Add(3)
+	b.Add(5)
+	var sm Sampler
+	var out bytes.Buffer
+	if err := writeMetricsJSON(&out, &reg, &sm); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Index(s, `"a"`) > strings.Index(s, `"b"`) {
+		t.Fatalf("export does not preserve registration order:\n%s", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var reg Registry
+	h := reg.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 1} // ≤1, ≤2, ≤4, +Inf
+	for i, w := range want {
+		if h.counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (counts %v)", i, h.counts[i], w, h.counts)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if m := h.Mean(); m < 16.0 || m > 16.1 {
+		t.Fatalf("mean %v", m)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := New(Options{FlightSize: 4})
+	for i := uint64(0); i < 10; i++ {
+		r.Instant("c", "e", i, "i", i)
+	}
+	ev := r.FlightEvents()
+	if len(ev) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if e.TS != uint64(6+i) {
+			t.Fatalf("event %d has ts %d, want %d (oldest-first order broken)", i, e.TS, 6+i)
+		}
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	var sink bytes.Buffer
+	r := New(Options{FlightSize: 8, FlightOut: &sink})
+	r.Span("oram", "bg-evict", 100, 50, "leaf", 7)
+	r.Flight("stash-overflow", 150)
+	out := sink.String()
+	if !strings.Contains(out, "stash-overflow") || !strings.Contains(out, `"bg-evict"`) {
+		t.Fatalf("flight dump missing content:\n%s", out)
+	}
+	// Every non-header line is itself a JSON object.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		var v map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("flight line %q not JSON: %v", line, err)
+		}
+	}
+}
+
+func TestSamplerTicks(t *testing.T) {
+	r := New(Options{SampleEvery: 100})
+	s := r.Series("x")
+	n := 0
+	r.OnSample(func(cycle uint64) { n++; s.Record(cycle, float64(n)) })
+	r.MaybeSample(0)   // tick at 0
+	r.MaybeSample(50)  // no tick
+	r.MaybeSample(250) // ticks at 100 and 200
+	if n != 3 {
+		t.Fatalf("got %d ticks, want 3", n)
+	}
+	if s.cycles[0] != 0 || s.cycles[1] != 100 || s.cycles[2] != 200 {
+		t.Fatalf("tick cycles %v", s.cycles)
+	}
+}
+
+func TestBeginProcessScopesCallbacksAndPids(t *testing.T) {
+	var tr bytes.Buffer
+	r := New(Options{SampleEvery: 10, TraceOut: &tr})
+	if pid := r.BeginProcess("first"); pid != 1 {
+		t.Fatalf("first process pid %d", pid)
+	}
+	s1 := r.Series("occ")
+	r.OnSample(func(cycle uint64) { s1.Record(cycle, 1) })
+	r.MaybeSample(25) // ticks 0,10,20 for process 1
+
+	if pid := r.BeginProcess("second"); pid != 2 {
+		t.Fatalf("second process pid %d", pid)
+	}
+	s2 := r.Series("occ")
+	r.OnSample(func(cycle uint64) { s2.Record(cycle, 2) })
+	r.MaybeSample(5) // tick 0 for process 2 only
+
+	if s1.Len() != 3 {
+		t.Fatalf("process 1 series extended after its run: %d points", s1.Len())
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("process 2 series has %d points", s2.Len())
+	}
+	// Metrics registered by a later process are namespaced by pid.
+	if got := r.Counter("c"); got != r.reg.Counter("p2.c") {
+		t.Fatal("second-process counter not namespaced with its pid")
+	}
+	if err := r.CloseTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.String(), `"process_name"`) {
+		t.Fatal("no process metadata emitted")
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+// Registry holds named metrics in registration order. Lookups are linear
+// scans: registration happens a handful of times per simulated system,
+// never on the per-access hot path, and avoiding maps keeps every export
+// trivially deterministic.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// Counter is a monotonically increasing uint64 metric. All methods are
+// no-ops on a nil handle.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time float64 metric. All methods are no-ops on a
+// nil handle.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Max raises the gauge to v if v is larger (high-water tracking).
+func (g *Gauge) Max(v float64) {
+	if g != nil && v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into buckets with ascending upper-bound
+// edges plus an implicit +Inf bucket. All methods are no-ops on a nil
+// handle.
+type Histogram struct {
+	name   string
+	bounds []float64 // ascending upper bounds; counts has len(bounds)+1
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Mean returns the running mean of observations (0 before the first).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	for _, c := range r.counters {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	for _, g := range r.gauges {
+		if g.name == name {
+			return g
+		}
+	}
+	g := &Gauge{name: name}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram returns the named histogram, registering it on first use with
+// the given bucket bounds (bounds are ignored on a rediscovered name: the
+// first registration wins).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	for _, h := range r.hists {
+		if h.name == name {
+			return h
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// PowerOfTwoBounds returns histogram bounds 1, 2, 4, ... 2^(n-1) —
+// the natural scale for super block sizes and occupancy counts.
+func PowerOfTwoBounds(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(uint64(1) << i)
+	}
+	return out
+}

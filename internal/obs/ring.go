@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Ring is the flight recorder: a fixed-size circular buffer of the most
+// recent events. It always records while a Recorder is enabled — even
+// with trace emission off — so a crash or invariant failure can dump the
+// last moments of the run without the cost of a full trace.
+type Ring struct {
+	buf  []Event
+	n    int // events stored (≤ len(buf))
+	next int // next write position
+}
+
+func newRing(size int) *Ring {
+	return &Ring{buf: make([]Event, size)}
+}
+
+// add stores one event, overwriting the oldest when full.
+func (r *Ring) add(e Event) {
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Len returns the number of stored events.
+func (r *Ring) Len() int { return r.n }
+
+// Events returns a copy of the contents, oldest first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// dump writes the contents oldest-first, one line per event, in the same
+// record shape the Tracer uses (minus the array brackets, so the dump
+// nests inside a log stream).
+func (r *Ring) dump(w io.Writer) {
+	buf := make([]byte, 0, 256)
+	for _, e := range r.Events() {
+		buf = appendEvent(buf[:0], e)
+		fmt.Fprintf(w, "%s\n", buf)
+	}
+}

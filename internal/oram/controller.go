@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"proram/internal/mem"
+	"proram/internal/obs"
 	"proram/internal/posmap"
 	"proram/internal/rng"
 	"proram/internal/stash"
@@ -44,6 +45,14 @@ type Controller struct {
 	stats Stats
 	trace []TraceEvent
 	dyn   dynOint
+
+	// Observability (see observe.go). All handles are nil when no recorder
+	// is installed; every emission below is then a single pointer check.
+	obs          *obs.Recorder
+	obsPaths     *obs.Counter
+	obsKindCtr   [KindPeriodicDummy + 1]*obs.Counter
+	obsSBSize    *obs.Histogram
+	obsSatDumped bool // stash-saturation flight dump emitted (once per run)
 
 	// Adaptive-thresholding observation window (§4.4.2).
 	winRequests int
@@ -202,6 +211,9 @@ func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind,
 	if c.cfg.RecordTrace {
 		c.trace = append(c.trace, TraceEvent{Leaf: uint64(leaf), Start: start, Kind: kind})
 	}
+	c.obsPaths.Inc()
+	c.obsKindCtr[kind].Inc()
+	c.obs.Span("oram", kind.String(), start, c.pathLat, "leaf", uint64(leaf))
 
 	c.scratch = c.tr.RemovePath(leaf, c.scratch[:0])
 	for _, id := range c.scratch {
@@ -211,6 +223,7 @@ func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind,
 		during()
 	}
 	c.st.EvictToPath(c.tr, leaf)
+	c.obs.MaybeSample(end)
 	return end
 }
 
@@ -234,9 +247,16 @@ func (c *Controller) backgroundEvictions() int {
 			// later requests rather than spinning forever. The paid
 			// accesses are already accounted — this is the pathological
 			// slowdown the paper's Figure 7 shows for large static sizes.
+			// Saturation recurs on nearly every access once entered; dump
+			// the flight ring only on first entry.
+			if !c.obsSatDumped {
+				c.obsSatDumped = true
+				c.obs.Flight("stash-saturation", c.lastEnd)
+			}
 			break
 		}
 		if n > 100_000 {
+			c.obs.Flight("background-eviction-runaway", c.lastEnd)
 			//proram:invariant Path ORAM guarantees dummy accesses shrink an over-limit stash in expectation; 100k without progress means the eviction logic is broken
 			panic(fmt.Sprintf("oram: background eviction runaway (stash %d/%d)", c.st.Size(), c.st.Limit()))
 		}

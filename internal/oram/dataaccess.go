@@ -37,6 +37,7 @@ func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []
 			n = c.staticGroupSize(pb, slot)
 		}
 	}
+	c.obsSBSize.Observe(float64(n))
 	gStart := posmap.GroupStart(slot, n)
 	oldLeaf := e.Leaf
 	newLeaf := c.randLeaf()
@@ -211,6 +212,7 @@ func (c *Controller) breakGroup(g group, slot int, keepLeaf mem.Leaf) group {
 	g.pb.SetBreakCounter(g.start, init)
 	g.pb.SetBreakCounter(g.start+half, init)
 	c.stats.Breaks++
+	c.obs.Instant("oram", "break", c.lastEnd, "half_size", uint64(half))
 
 	ret := group{pb: g.pb, pbIdx: g.pbIdx, start: g.start, size: half}
 	if !lowerHasSlot {
@@ -281,4 +283,5 @@ func (c *Controller) mergeCheck(g group) {
 	g.pb.ResetMergeCounter(nb)
 	g.pb.SetBreakCounter(merged.start, c.policy.BreakInitial(merged.size))
 	c.stats.Merges++
+	c.obs.Instant("oram", "merge", c.lastEnd, "size", uint64(merged.size))
 }

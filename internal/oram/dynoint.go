@@ -65,15 +65,20 @@ func (c *Controller) observeScheduled(dummy bool) {
 		return
 	}
 	frac := float64(c.dyn.epochDummies) / float64(c.dyn.epochAccesses)
+	moved := false
 	switch {
 	case frac > 0.5 && c.dyn.cur < c.dyn.max:
 		// Mostly idle: slow the public clock to save bandwidth/energy.
 		c.dyn.cur *= 2
-		c.dyn.transitions++
+		moved = true
 	case frac < 0.1 && c.dyn.cur > c.dyn.min:
 		// Demand-bound: speed the clock back up.
 		c.dyn.cur /= 2
+		moved = true
+	}
+	if moved {
 		c.dyn.transitions++
+		c.obs.Instant("oram", "oint-transition", c.lastEnd, "oint", c.dyn.cur)
 	}
 	c.dyn.epochAccesses = 0
 	c.dyn.epochDummies = 0

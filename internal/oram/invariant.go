@@ -121,6 +121,7 @@ func (c *Controller) CheckInvariant() error {
 		return nil
 	}
 	sort.Strings(violations)
+	c.obs.Flight("invariant-failure", c.lastEnd)
 	return fmt.Errorf("oram: %d invariant violation(s):\n  %s",
 		len(violations), strings.Join(violations, "\n  "))
 }

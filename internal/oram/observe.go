@@ -1,0 +1,73 @@
+package oram
+
+import "proram/internal/obs"
+
+// SetRecorder installs the observability recorder and registers the
+// controller's metrics, time series and sampler callbacks. Call it right
+// after New, before driving any accesses. A nil recorder (the default)
+// leaves every emission site as a single pointer check on a nil handle,
+// so the un-instrumented controller pays nothing.
+//
+// Everything registered here is public protocol state — leaf labels,
+// occupancies, counters of indistinguishable path accesses — never block
+// payload bytes. The proram-vet oblivious pass enforces that mechanically
+// at every emission site.
+func (c *Controller) SetRecorder(rec *obs.Recorder) {
+	c.obs = rec
+	if rec == nil {
+		return
+	}
+	c.obsPaths = rec.Counter("oram.path_accesses")
+	for k := KindData; k <= KindPeriodicDummy; k++ {
+		c.obsKindCtr[k] = rec.Counter("oram.paths." + k.String())
+	}
+	// Super block sizes are powers of two; bounds up to 64 cover every
+	// configuration the policy accepts.
+	c.obsSBSize = rec.Histogram("oram.sb_size", obs.PowerOfTwoBounds(7))
+
+	// Components.
+	c.st.Instrument(rec.Counter("stash.writebacks"), rec.Gauge("stash.high_water"))
+	c.plb.Instrument(rec.Counter("plb.hits"), rec.Counter("plb.misses"),
+		rec.Counter("plb.dirty_evictions"))
+
+	// Time series, sampled on the simulated clock. Rates are computed over
+	// the window since the previous tick, so the series show trajectories
+	// (warmup, phase changes) rather than ever-flattening cumulative means.
+	occ := rec.Series("stash_occupancy")
+	plbRate := rec.Series("plb_hit_rate")
+	pfMiss := rec.Series("prefetch_miss_rate")
+	util := rec.Series("channel_utilization")
+	var prev struct {
+		plbHits, plbMisses uint64
+		pfHits, pfUnused   uint64
+		busy, cycle        uint64
+	}
+	rec.OnSample(func(cycle uint64) {
+		occ.Record(cycle, float64(c.st.Size()))
+
+		hits, misses := c.plb.Hits(), c.plb.Misses()
+		plbRate.Record(cycle, windowRate(hits-prev.plbHits, misses-prev.plbMisses))
+		prev.plbHits, prev.plbMisses = hits, misses
+
+		unused := c.stats.PrefetchUnused - prev.pfUnused
+		used := c.stats.PrefetchHits - prev.pfHits
+		pfMiss.Record(cycle, windowRate(unused, used))
+		prev.pfHits, prev.pfUnused = c.stats.PrefetchHits, c.stats.PrefetchUnused
+
+		if cycle > prev.cycle {
+			util.Record(cycle, float64(c.stats.BusyCycles-prev.busy)/float64(cycle-prev.cycle))
+		} else {
+			util.Record(cycle, 0)
+		}
+		prev.busy, prev.cycle = c.stats.BusyCycles, cycle
+	})
+}
+
+// windowRate returns a/(a+b), the fraction a represents of the window's
+// total, or 0 for an empty window.
+func windowRate(a, b uint64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+b)
+}

@@ -1,5 +1,7 @@
 package oram
 
+import "fmt"
+
 // Stats aggregates everything the controller did. All path-access counters
 // are in units of full path read+writes (the paper's unit of ORAM work and
 // the proxy for memory-subsystem energy).
@@ -39,6 +41,38 @@ type Stats struct {
 	// OintTransitions counts adaptive-interval moves under the DynamicOint
 	// extension — its declared timing leak is one bit per transition.
 	OintTransitions uint64
+}
+
+// Validate checks the accounting identities that must hold for any
+// cumulative snapshot taken through Controller.Stats:
+//
+//   - PathAccesses is exactly the sum of the per-kind counters: every path
+//     access is classified once.
+//   - Every demand read issues exactly one data path, every LLC writeback
+//     exactly one writeback path.
+//   - Resolved prefetch outcomes (hits + unused) never exceed issues.
+//
+// It is called at the end of every simulation run, so a miscounted access
+// surfaces as a run error instead of silently skewing a figure. The
+// identities are for cumulative counters only: warmup-region deltas
+// produced by Sub can resolve more prefetches than they issue.
+func (s Stats) Validate() error {
+	kinds := s.DataPaths + s.WritebackPaths + s.PosMapPaths +
+		s.PLBWritebackPaths + s.BackgroundEvictions + s.DummyAccesses
+	if kinds != s.PathAccesses {
+		return fmt.Errorf("oram: stats invariant: per-kind paths sum to %d, PathAccesses is %d", kinds, s.PathAccesses)
+	}
+	if s.DataPaths != s.DemandReads {
+		return fmt.Errorf("oram: stats invariant: %d data paths for %d demand reads", s.DataPaths, s.DemandReads)
+	}
+	if s.WritebackPaths != s.Writebacks {
+		return fmt.Errorf("oram: stats invariant: %d writeback paths for %d writebacks", s.WritebackPaths, s.Writebacks)
+	}
+	if s.PrefetchHits+s.PrefetchUnused > s.PrefetchIssued {
+		return fmt.Errorf("oram: stats invariant: %d+%d prefetch outcomes exceed %d issues",
+			s.PrefetchHits, s.PrefetchUnused, s.PrefetchIssued)
+	}
+	return nil
 }
 
 // PrefetchMissRate returns the fraction of resolved prefetches that went

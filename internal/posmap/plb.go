@@ -4,6 +4,7 @@ import (
 	"container/list"
 
 	"proram/internal/mem"
+	"proram/internal/obs"
 )
 
 // PLB is the Position-map Lookaside Buffer of Unified ORAM: a small LRU
@@ -21,6 +22,18 @@ type PLB struct {
 
 	hits   uint64
 	misses uint64
+
+	obsHits        *obs.Counter // nil when obs off
+	obsMisses      *obs.Counter
+	obsDirtyEvicts *obs.Counter
+}
+
+// Instrument attaches observability counters. Nil handles (the default)
+// keep every hook a single pointer check.
+func (p *PLB) Instrument(hits, misses, dirtyEvicts *obs.Counter) {
+	p.obsHits = hits
+	p.obsMisses = misses
+	p.obsDirtyEvicts = dirtyEvicts
 }
 
 type plbEntry struct {
@@ -50,9 +63,11 @@ func (p *PLB) Lookup(id mem.BlockID) bool {
 	if e, ok := p.index[id]; ok {
 		p.lru.MoveToFront(e)
 		p.hits++
+		p.obsHits.Inc()
 		return true
 	}
 	p.misses++
+	p.obsMisses.Inc()
 	return false
 }
 
@@ -96,6 +111,9 @@ func (p *PLB) Insert(id mem.BlockID) (victim mem.BlockID, dirty, ok bool) {
 	ent := back.Value.(*plbEntry)
 	p.lru.Remove(back)
 	delete(p.index, ent.id)
+	if ent.dirty {
+		p.obsDirtyEvicts.Inc()
+	}
 	return ent.id, ent.dirty, true
 }
 

@@ -5,7 +5,11 @@
 // saturated controller, which is exactly the effect Figure 5 demonstrates.
 package prefetch
 
-import "fmt"
+import (
+	"fmt"
+
+	"proram/internal/obs"
+)
 
 // Config parameterizes the prefetcher.
 type Config struct {
@@ -41,8 +45,13 @@ type Stream struct {
 	streams []stream
 	tick    uint64
 
-	issued uint64
+	issued    uint64
+	obsIssued *obs.Counter // nil when obs off
 }
+
+// Instrument attaches an observability counter for issued prefetches. A
+// nil handle (the default) keeps the hook a single pointer check.
+func (s *Stream) Instrument(issued *obs.Counter) { s.obsIssued = issued }
 
 // New builds the prefetcher; it panics on invalid configuration.
 func New(cfg Config) *Stream {
@@ -73,6 +82,7 @@ func (s *Stream) OnMiss(index uint64, dst []uint64) []uint64 {
 		for d := 1; d <= s.cfg.Degree; d++ {
 			dst = append(dst, index+uint64(d))
 			s.issued++
+			s.obsIssued.Inc()
 		}
 		return dst
 	}

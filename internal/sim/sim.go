@@ -11,6 +11,7 @@ import (
 	"proram/internal/cache"
 	"proram/internal/cpu"
 	"proram/internal/dram"
+	"proram/internal/obs"
 	"proram/internal/oram"
 	"proram/internal/prefetch"
 	"proram/internal/superblock"
@@ -57,6 +58,12 @@ type Config struct {
 	// region-of-interest methodology of architecture simulators. The
 	// reported Cycles cover only the measured remainder.
 	WarmupOps uint64
+	// Obs attaches the observability recorder; nil (the default) disables
+	// all instrumentation at the cost of one pointer check per site.
+	Obs *obs.Recorder
+	// ObsLabel names this system in multi-system traces; empty derives a
+	// label from Tech.
+	ObsLabel string
 }
 
 // DefaultConfig returns the paper's Table 1 system with the given memory
@@ -152,6 +159,7 @@ type memSystem struct {
 	pending map[uint64]uint64 // block index -> in-flight prefetch ready time
 	rep     *Report
 	scratch []uint64
+	obs     *obs.Recorder // nil when observability is off
 
 	superActive bool
 	maxIndex    uint64 // addressable blocks (bounds prefetches)
@@ -194,7 +202,44 @@ func New(cfg Config) (*System, error) {
 	if cfg.Prefetch != nil {
 		m.pf = prefetch.New(*cfg.Prefetch)
 	}
+	if cfg.Obs.Enabled() {
+		m.attachObs(cfg.Obs, cfg.ObsLabel)
+	}
 	return &System{mem: m}, nil
+}
+
+// attachObs declares this system as a trace process and instruments every
+// component. BeginProcess must precede the metric registrations so that
+// systems after the first get pid-namespaced names.
+func (m *memSystem) attachObs(rec *obs.Recorder, label string) {
+	if label == "" {
+		label = m.cfg.Tech.String()
+	}
+	rec.BeginProcess(label)
+	m.obs = rec
+	if m.ctrl != nil {
+		m.ctrl.SetRecorder(rec)
+	}
+	if m.pf != nil {
+		m.pf.Instrument(rec.Counter("stream.issued"))
+	}
+	if m.dram != nil {
+		m.dram.Instrument(rec.Counter("dram.accesses"),
+			rec.Counter("dram.bulk_transfers"), rec.Counter("dram.bytes_moved"))
+		// In DRAM mode the memory system owns the clock, so the utilization
+		// series is sampled here (the ORAM controller samples its own).
+		util := rec.Series("channel_utilization")
+		var prevBusy, prevCycle uint64
+		rec.OnSample(func(cycle uint64) {
+			busy := m.dram.Stats().BusyCycles
+			if cycle > prevCycle {
+				util.Record(cycle, float64(busy-prevBusy)/float64(cycle-prevCycle))
+			} else {
+				util.Record(cycle, 0)
+			}
+			prevBusy, prevCycle = busy, cycle
+		})
+	}
 }
 
 // System is a configured simulator ready to run one trace.
@@ -245,6 +290,12 @@ func (s *System) Run(g trace.Generator) (Report, error) {
 	}
 	if s.mem.ctrl != nil {
 		rep.MemoryAccesses = rep.ORAM.PathAccesses
+		// The accounting identities hold on cumulative counters (warmup
+		// deltas can legitimately break the prefetch inequality), so check
+		// before subtracting the warmup snapshot.
+		if err := cur.ORAM.Validate(); err != nil {
+			return Report{}, err
+		}
 	}
 	if s.mem.dram != nil {
 		rep.MemoryAccesses = rep.DRAM.Accesses
@@ -296,6 +347,9 @@ func (m *memSystem) Access(now uint64, addr uint64, write bool) uint64 {
 	if m.cfg.Tech == TechDRAM {
 		done = m.dram.Access(issueAt, addr, uint64(m.cfg.BlockBytes))
 		m.applyOutcome(m.hier.Fill(idx, write), done)
+		// In DRAM mode the memory system drives the sampler clock (the ORAM
+		// controller does it itself in ORAM mode).
+		m.obs.MaybeSample(done)
 	} else {
 		res := m.ctrl.Read(issueAt, idx)
 		done = res.Done

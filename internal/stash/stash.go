@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"proram/internal/mem"
+	"proram/internal/obs"
 	"proram/internal/tree"
 )
 
@@ -30,6 +31,16 @@ type Stash struct {
 	highWater int                 // max observed size
 	scratch   [][]mem.BlockID     // reusable depth buckets for eviction
 	carry     []mem.BlockID       // reusable carry list
+
+	obsWritebacks *obs.Counter // blocks written back to the tree; nil when obs off
+	obsHighWater  *obs.Gauge   // peak occupancy; nil when obs off
+}
+
+// Instrument attaches observability handles. Nil handles (the default)
+// keep every hook a single pointer check.
+func (s *Stash) Instrument(writebacks *obs.Counter, highWater *obs.Gauge) {
+	s.obsWritebacks = writebacks
+	s.obsHighWater = highWater
 }
 
 // New returns an empty stash with the given soft capacity limit. It
@@ -71,6 +82,7 @@ func (s *Stash) Add(id mem.BlockID, leaf mem.Leaf) error {
 	s.order = append(s.order, entry{id: id, leaf: leaf})
 	if len(s.index) > s.highWater {
 		s.highWater = len(s.index)
+		s.obsHighWater.Max(float64(s.highWater))
 	}
 	return nil
 }
@@ -184,5 +196,6 @@ func (s *Stash) EvictToPath(t *tree.Tree, accessLeaf mem.Leaf) int {
 	}
 	s.carry = carry[:0]
 	s.maybeCompact()
+	s.obsWritebacks.Add(uint64(placed))
 	return placed
 }

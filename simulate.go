@@ -2,7 +2,9 @@ package proram
 
 import (
 	"fmt"
+	"io"
 
+	"proram/internal/obs"
 	"proram/internal/prefetch"
 	"proram/internal/sim"
 	"proram/internal/trace"
@@ -48,12 +50,18 @@ type SimConfig struct {
 	WarmupOps uint64
 	// Seed drives the ORAM randomness (zero means 1).
 	Seed uint64
+	// Obs enables the observability layer (metrics, time series, tracing,
+	// flight recorder); nil runs un-instrumented. See ObsConfig.
+	Obs *ObsConfig
 }
 
 // Simulator runs workloads on a configured memory system. Each Run builds
-// a fresh system (cold caches, freshly initialized ORAM).
+// a fresh system (cold caches, freshly initialized ORAM); runs share one
+// observability recorder and appear in its trace as successive processes.
 type Simulator struct {
-	cfg sim.Config
+	cfg        sim.Config
+	rec        *obs.Recorder
+	metricsOut io.Writer
 }
 
 // NewSimulator validates the configuration and returns a Simulator.
@@ -100,7 +108,12 @@ func NewSimulator(c SimConfig) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg}, nil
+	s := &Simulator{cfg: cfg, rec: c.Obs.recorder()}
+	if c.Obs != nil {
+		s.metricsOut = c.Obs.MetricsOut
+		s.cfg.Obs = s.rec
+	}
+	return s, nil
 }
 
 // Result is what one simulation measured.
@@ -122,7 +135,9 @@ type Result struct {
 
 // Run executes one workload and returns the measurements.
 func (s *Simulator) Run(w Workload) (Result, error) {
-	system, err := sim.New(s.cfg)
+	cfg := s.cfg
+	cfg.ObsLabel = w.Name
+	system, err := sim.New(cfg)
 	if err != nil {
 		return Result{}, err
 	}
