@@ -6,15 +6,21 @@
 //
 //	go run ./cmd/proram-vet ./...
 //	go run ./cmd/proram-vet -checks determinism,maporder ./internal/oram
+//	go run ./cmd/proram-vet -json ./... > vet.json
 //
 // It loads and type-checks the whole module (standard library imports
 // are resolved from GOROOT source, so no tooling beyond the Go
 // distribution is needed), prints findings as file:line:col: [check]
-// message, and exits nonzero if anything was reported. Suppressions are
-// //proram: directives in the source; see doc.go at the repository root.
+// message, and exits nonzero if anything was reported. With -json the
+// findings are emitted as a single JSON report on stdout instead —
+// module-relative forward-slash paths and runner-sorted findings, so two
+// runs over the same tree produce byte-identical output fit for CI
+// artifact diffing. Suppressions are //proram: directives in the source;
+// see doc.go at the repository root.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +30,28 @@ import (
 	"proram/internal/analysis"
 )
 
+// jsonFinding is one diagnostic in the -json report. File is
+// module-relative with forward slashes on every platform.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the envelope the -json mode writes to stdout.
+type jsonReport struct {
+	Module   string        `json:"module"`
+	Checks   []string      `json:"checks"`
+	Count    int           `json:"count"`
+	Findings []jsonFinding `json:"findings"`
+}
+
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	listFlag := flag.Bool("list", false, "list available checks and exit")
+	jsonFlag := flag.Bool("json", false, "emit a byte-stable JSON report on stdout instead of file:line:col lines")
 	flag.Parse()
 
 	if *listFlag {
@@ -59,18 +84,59 @@ func main() {
 	}
 
 	diags := analysis.NewRunner(prog).Run(passes, pkgs)
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	if *jsonFlag {
+		if err := writeJSON(os.Stdout, prog, passes, root, diags); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	} else {
+		cwd, _ := os.Getwd()
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "proram-vet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// writeJSON renders the report. The diagnostics arrive runner-sorted
+// (file, line, col, check) and paths are normalized to module-relative
+// forward-slash form, so the bytes are identical across runs and
+// platforms — CI uploads the report as an artifact and any change shows
+// up as a diff.
+func writeJSON(w *os.File, prog *analysis.Program, passes []*analysis.Pass, root string, diags []analysis.Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		}
+		findings = append(findings, jsonFinding{
+			File:    name,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = p.Name
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(jsonReport{
+		Module:   prog.ModulePath,
+		Checks:   names,
+		Count:    len(findings),
+		Findings: findings,
+	})
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -27,17 +27,40 @@
 //
 // The repository carries its own static-analysis suite (go run
 // ./cmd/proram-vet ./..., package proram/internal/analysis) that enforces
-// the two conventions the reproduction depends on: bit-for-bit
-// determinism from an explicit seed, and obliviousness of the ORAM access
-// path. Findings are suppressed or annotated in the source itself with
-// machine-readable //proram: comments:
+// the three conventions the reproduction depends on: bit-for-bit
+// determinism from an explicit seed, obliviousness of the ORAM access
+// path, and an allocation-free access-path steady state. The oblivious
+// and seedplumbing passes are interprocedural: a module-local call graph
+// is condensed into strongly connected components and per-function taint
+// summaries are computed bottom-up, so a secret that crosses a return
+// value, an out-parameter or a helper chain (including recursion) is
+// still caught at the caller, and a secret-derived slice/array/map index
+// or slice bound is flagged even in straight-line code. Findings are
+// suppressed or annotated in the source itself with machine-readable
+// //proram: comments:
 //
 //	//proram:allow <check>[,<check>...] <reason>
 //
 // suppresses the named checks (determinism, maporder, oblivious,
-// panicdiscipline, seedplumbing, allowhygiene) on the same line or the
-// line directly below; written before the package clause it covers the
-// whole file. The reason is mandatory in spirit and audited in review.
+// panicdiscipline, seedplumbing, allocdiscipline, allowhygiene) on the
+// same line or the line directly below; written before the package clause
+// it covers the whole file. The reason is mandatory in spirit and audited
+// in review.
+//
+//	//proram:hotpath <reason>
+//
+// in a function's doc comment (or directly above a bare declaration)
+// marks it as part of the per-access critical path. The allocdiscipline
+// pass then reports every allocation inside it — make, new, append,
+// escaping composite literals and closures, slice/map literals, string
+// concatenation, string/byte conversions, fmt calls, go statements — and
+// follows module-local calls through the same call-graph summaries, so a
+// helper that allocates is reported at the hot call site with the chain
+// that reaches the allocation. Allocations on paths whose every exit
+// panics are exempt (failure handling, not steady state), as are callees
+// that are themselves marked hot (checked in their own right) and helper
+// allocations justified with //proram:allow allocdiscipline (exempt for
+// every hot caller at once).
 //
 //	//proram:invariant <justification>
 //
@@ -54,7 +77,10 @@
 //	//proram:secret
 //
 // on a struct field marks it as a taint source (the canonical one is
-// mem.Block.Data, the decrypted payload).
+// mem.Block.Data, the decrypted payload). Taint survives module-local
+// calls: up to 62 parameters are tracked per function with per-parameter
+// origin bits, anything beyond that degrades soundly to an opaque origin
+// that never crosses a call boundary.
 //
 // The allowhygiene pass keeps the vocabulary honest: unknown directives,
 // unknown check names, justification-free invariants and stale allows

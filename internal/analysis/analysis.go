@@ -140,6 +140,7 @@ func DefaultPasses() []*Pass {
 		Oblivious(),
 		PanicDiscipline(),
 		SeedPlumbing(),
+		AllocDiscipline(),
 		AllowHygiene(),
 	}
 }
@@ -155,7 +156,8 @@ func PassNames() []string {
 }
 
 // SelectPasses filters DefaultPasses down to the named checks ("" keeps
-// everything). Unknown names are an error.
+// everything). Unknown and duplicate names are errors — a duplicated
+// check would run twice and double every diagnostic it produces.
 func SelectPasses(checks string) ([]*Pass, error) {
 	all := DefaultPasses()
 	if checks == "" {
@@ -165,6 +167,7 @@ func SelectPasses(checks string) ([]*Pass, error) {
 	for _, p := range all {
 		byName[p.Name] = p
 	}
+	seen := make(map[string]bool)
 	var out []*Pass
 	for _, name := range strings.Split(checks, ",") {
 		name = strings.TrimSpace(name)
@@ -175,6 +178,10 @@ func SelectPasses(checks string) ([]*Pass, error) {
 		if !ok {
 			return nil, fmt.Errorf("analysis: unknown check %q (known: %s)", name, strings.Join(PassNames(), ", "))
 		}
+		if seen[name] {
+			return nil, fmt.Errorf("analysis: check %q named twice in -checks", name)
+		}
+		seen[name] = true
 		out = append(out, p)
 	}
 	return out, nil

@@ -154,6 +154,28 @@ func TestObsFixture(t *testing.T) {
 	runFixture(t, []*Pass{Oblivious(fixtureBase + "obs")}, fixtureBase+"obs")
 }
 
+// TestInterprocFixture exercises the call-graph taint summaries:
+// secrets crossing return values, out-parameters and helper sinks —
+// including around a recursion cycle — are flagged in the caller, and
+// interprocedural sanitization (a helper returning len) stays quiet.
+func TestInterprocFixture(t *testing.T) {
+	runFixture(t, []*Pass{Oblivious(fixtureBase + "interproc")}, fixtureBase+"interproc")
+}
+
+// TestSecretIndexFixture exercises the secret-index sink: secret-derived
+// slice/array/map indexes and slice bounds leak which addresses are
+// touched even in straight-line code.
+func TestSecretIndexFixture(t *testing.T) {
+	runFixture(t, []*Pass{Oblivious(fixtureBase + "secretindex")}, fixtureBase+"secretindex")
+}
+
+// TestAllocDisciplineFixture exercises the //proram:hotpath allocation
+// pass, including the interprocedural helper-chain reports and the
+// doomed-path and justified-helper exemptions.
+func TestAllocDisciplineFixture(t *testing.T) {
+	runFixture(t, []*Pass{AllocDiscipline()}, fixtureBase+"allocdiscipline")
+}
+
 func TestPanicDisciplineFixture(t *testing.T) {
 	runFixture(t, []*Pass{PanicDiscipline()}, fixtureBase+"panicdiscipline")
 }
@@ -172,6 +194,9 @@ func TestAllowHygieneFixture(t *testing.T) {
 func TestSelectPasses(t *testing.T) {
 	if _, err := SelectPasses("determinism,nosuch"); err == nil {
 		t.Fatal("unknown check did not error")
+	}
+	if _, err := SelectPasses("determinism,maporder,determinism"); err == nil {
+		t.Fatal("duplicate check did not error")
 	}
 	ps, err := SelectPasses("maporder, determinism")
 	if err != nil {

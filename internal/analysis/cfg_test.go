@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildTestCFG type-checks a single-function source snippet (no
+// imports) and returns the CFG of its first function.
+func buildTestCFG(t *testing.T, src string) *funcCFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfgfixture.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	if _, err := (&types.Config{}).Check("cfgfixture", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			return buildCFG(info, fn.Body)
+		}
+	}
+	t.Fatal("no function in snippet")
+	return nil
+}
+
+func TestCFGDoomedPanicBranch(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	y := x + 1
+	return y
+}
+`)
+	d := g.doomed()
+	panicking, doomedCount := 0, 0
+	for i, b := range g.blocks {
+		if b.panics {
+			panicking++
+			if !d[i] {
+				t.Errorf("block %d panics but is not doomed", i)
+			}
+		}
+		if d[i] {
+			doomedCount++
+		}
+	}
+	if panicking != 1 {
+		t.Fatalf("expected exactly one panicking block, got %d", panicking)
+	}
+	if doomedCount != 1 {
+		t.Fatalf("only the panic branch should be doomed, got %d doomed blocks", doomedCount)
+	}
+	if d[g.entry.index] {
+		t.Fatal("entry block must not be doomed: the function can return normally")
+	}
+}
+
+func TestCFGAllPathsPanic(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(x int) {
+	y := x * 2
+	if y > 0 {
+		panic("pos")
+	} else {
+		panic("nonpos")
+	}
+}
+`)
+	d := g.doomed()
+	if !d[g.entry.index] {
+		t.Fatal("entry must be doomed: every path out of it panics")
+	}
+}
+
+func TestCFGLoopNotDoomed(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`)
+	d := g.doomed()
+	for i := range d {
+		if d[i] {
+			t.Fatalf("block %d doomed in a panic-free function", i)
+		}
+	}
+	// The loop head must branch: body and exit.
+	branching := false
+	for _, b := range g.blocks {
+		if len(b.succs) >= 2 {
+			branching = true
+		}
+	}
+	if !branching {
+		t.Fatal("loop produced no branching block")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(x int) int {
+	switch x {
+	case 0:
+		panic("zero")
+	case 1:
+		fallthrough
+	case 2:
+		return 2
+	}
+	return 3
+}
+`)
+	d := g.doomed()
+	if d[g.entry.index] {
+		t.Fatal("entry doomed: only the zero clause panics")
+	}
+	panicking := 0
+	for i, b := range g.blocks {
+		if b.panics {
+			panicking++
+			if !d[i] {
+				t.Errorf("panicking clause block %d not doomed", i)
+			}
+		}
+	}
+	if panicking != 1 {
+		t.Fatalf("expected one panicking clause, got %d", panicking)
+	}
+}

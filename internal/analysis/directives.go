@@ -12,6 +12,7 @@ import (
 //	//proram:invariant <justification>             justify a library panic
 //	//proram:public <reason>                       declassify a value
 //	//proram:secret                                mark a struct field as secret
+//	//proram:hotpath <reason>                      demand an allocation-free function
 //
 // An allow or public directive applies to the line it sits on and to the
 // line immediately below it (so it can be written either as a trailing
@@ -89,6 +90,24 @@ func (p *Package) allowDirectiveFor(check, file string, line int) *Directive {
 func (p *Package) directiveAt(kind, file string, line int) *Directive {
 	for _, d := range p.Directives {
 		if d.Kind == kind && d.File == file && (d.Line == line || d.Line == line-1) {
+			return d
+		}
+	}
+	return nil
+}
+
+// hotpathDirective returns the //proram:hotpath directive attached to a
+// function declaration: anywhere in its doc comment, or on the line of
+// the func keyword itself. (gofmt folds a comment line directly above a
+// declaration into its doc comment, so "the line above" is covered.)
+func (p *Package) hotpathDirective(fset *token.FileSet, fn *ast.FuncDecl) *Directive {
+	declPos := fset.Position(fn.Pos())
+	start := declPos.Line
+	if fn.Doc != nil && len(fn.Doc.List) > 0 {
+		start = fset.Position(fn.Doc.Pos()).Line
+	}
+	for _, d := range p.Directives {
+		if d.Kind == "hotpath" && d.File == declPos.Filename && d.Line >= start && d.Line <= declPos.Line {
 			return d
 		}
 	}

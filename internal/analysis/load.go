@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package of the module.
@@ -43,6 +44,28 @@ type Program struct {
 	SecretFields map[types.Object]bool
 
 	byPath map[string]*Package
+
+	// Lazily built interprocedural state, shared by the passes that need
+	// whole-program views (the call graph and the function summaries
+	// derived from it).
+	cgOnce   sync.Once
+	cg       *CallGraph
+	sumOnce  sync.Once
+	sums     *summaries
+	allocOne sync.Once
+	allocs   *allocSummaries
+}
+
+// relPosition renders a position module-relative with forward slashes,
+// so diagnostic messages referring to other files are byte-identical
+// across checkouts and operating systems.
+func (p *Program) relPosition(pos token.Pos) string {
+	pp := p.Fset.Position(pos)
+	name := pp.Filename
+	if rel, err := filepath.Rel(p.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", name, pp.Line)
 }
 
 // ModulePackages returns the packages that belong to the module proper,

@@ -6,45 +6,69 @@ import (
 	"strings"
 )
 
-// Oblivious is a conservative intra-procedural taint pass over the ORAM
-// access path. Sources are reads of struct fields declared with a
+// Oblivious is the interprocedural taint pass over the ORAM access
+// path. Sources are reads of struct fields declared with a
 // //proram:secret directive (the canonical one is mem.Block.Data, the
 // decrypted block payload). Taint propagates through assignments,
-// arithmetic, indexing and ordinary calls; len and cap sanitize (block
-// sizes are public by construction), as does an explicit
-// //proram:public declassification on the assignment. Sinks are branch
-// and loop conditions: an if/switch/for that tests secret bytes decides
-// *which* memory accesses happen next, which is exactly the
-// access-pattern leakage Path ORAM exists to remove ("Revisiting
-// Definitional Foundations of Oblivious RAM" catalogues how easily
-// secure-processor implementations violate this silently). Calls into
-// the observability layer (internal/obs) are a second sink family: a
-// metric name, series value or trace argument derived from payload
-// bytes writes the secret straight into an exported file, so every
-// tainted argument to an obs call is reported.
+// arithmetic, indexing and — via the bottom-up function summaries in
+// summary.go — through module-local calls: a helper that copies,
+// serializes or compares payload bytes carries the taint into its
+// callers, and a helper that branches on a parameter becomes a sink for
+// every caller that passes secret data in.
+//
+// Three sink families are reported:
+//
+//   - branch sinks: if/for/switch conditions — a data-dependent branch
+//     decides *which* accesses happen next, exactly the access-pattern
+//     leakage Path ORAM exists to remove ("Revisiting Definitional
+//     Foundations of Oblivious RAM" catalogues how easily
+//     secure-processor implementations violate this silently);
+//   - secret-index sinks: a secret-derived slice, array or map index or
+//     slice bound — a secret-dependent address is the classic ORAM leak
+//     even when control flow is straight-line;
+//   - observability emissions: a metric name, series value or trace
+//     argument derived from payload bytes writes the secret straight
+//     into an exported file (calls into internal/obs).
+//
+// len and cap sanitize (block geometry is public by construction), and
+// an explicit //proram:public declassifies at an assignment or sink.
 //
 // The default scope is the trusted controller surface: internal/oram and
 // internal/stash. Pass explicit module-relative scopes to analyze other
-// packages (the fixture tests do).
+// packages (the fixture tests do). Summaries are computed over the whole
+// program regardless of scope, so secrets that leave a scoped package
+// through a helper in another package are still tracked back to the
+// scoped caller.
 func Oblivious(scopes ...string) *Pass {
 	if len(scopes) == 0 {
 		scopes = []string{"internal/oram", "internal/stash"}
 	}
 	p := &Pass{
 		Name: "oblivious",
-		Doc:  "flag branches, loop bounds and observability emissions that depend on secret block payload bytes",
+		Doc:  "flag branches, memory indexes and observability emissions that depend on secret block payload bytes (interprocedural)",
 	}
 	p.Run = func(u *Unit) {
 		if !inScope(u.Pkg.Rel, scopes) {
 			return
 		}
+		sums := u.Prog.taintSummaries()
 		for _, f := range u.Pkg.Files {
 			for _, decl := range f.Decls {
 				fn, ok := decl.(*ast.FuncDecl)
 				if !ok || fn.Body == nil {
 					continue
 				}
-				analyzeFuncTaint(u, fn)
+				obj, ok := u.Pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sum := sums.byFunc[obj]
+				if sum == nil {
+					continue
+				}
+				for _, r := range sum.reports {
+					u.Reportf(r.pos, "%s", r.msg)
+				}
 			}
 		}
 	}
@@ -58,241 +82,4 @@ func inScope(rel string, scopes []string) bool {
 		}
 	}
 	return false
-}
-
-// taintState tracks which local objects carry secret data within one
-// function body.
-type taintState struct {
-	u       *Unit
-	tainted map[types.Object]bool
-}
-
-func analyzeFuncTaint(u *Unit, fn *ast.FuncDecl) {
-	st := &taintState{u: u, tainted: make(map[types.Object]bool)}
-
-	// Propagate taint through assignments to a fixpoint. The state only
-	// grows, so the loop terminates; the bound is paranoia.
-	for i := 0; i < 32; i++ {
-		if !st.propagate(fn.Body) {
-			break
-		}
-	}
-
-	// Scan for tainted branch and loop conditions.
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.IfStmt:
-			st.checkCond(n.Cond, "if condition")
-		case *ast.ForStmt:
-			if n.Cond != nil {
-				st.checkCond(n.Cond, "loop bound")
-			}
-		case *ast.SwitchStmt:
-			if n.Tag != nil {
-				st.checkCond(n.Tag, "switch tag")
-			}
-			for _, clause := range n.Body.List {
-				cc, ok := clause.(*ast.CaseClause)
-				if !ok {
-					continue
-				}
-				for _, e := range cc.List {
-					st.checkCond(e, "switch case")
-				}
-			}
-		case *ast.CallExpr:
-			st.checkObsEmission(n)
-		}
-		return true
-	})
-}
-
-// propagate performs one round of flow-insensitive taint propagation and
-// reports whether anything new became tainted.
-func (st *taintState) propagate(body ast.Node) bool {
-	changed := false
-	mark := func(e ast.Expr, pos ast.Node) {
-		// Writing secret data into x.f, x[i] or *x taints the container x.
-	peel:
-		for {
-			switch x := e.(type) {
-			case *ast.SelectorExpr:
-				e = x.X
-			case *ast.IndexExpr:
-				e = x.X
-			case *ast.StarExpr:
-				e = x.X
-			case *ast.ParenExpr:
-				e = x.X
-			default:
-				break peel
-			}
-		}
-		id, ok := e.(*ast.Ident)
-		if !ok {
-			return
-		}
-		obj := st.u.Pkg.Info.Defs[id]
-		if obj == nil {
-			obj = st.u.Pkg.Info.Uses[id]
-		}
-		if obj == nil || st.tainted[obj] {
-			return
-		}
-		// A //proram:public directive on the assignment declassifies.
-		p := st.u.Prog.Fset.Position(pos.Pos())
-		if st.u.Pkg.directiveAt("public", p.Filename, p.Line) != nil {
-			return
-		}
-		st.tainted[obj] = true
-		changed = true
-	}
-
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
-				if st.exprTainted(n.Rhs[0]) {
-					for _, l := range n.Lhs {
-						mark(l, n)
-					}
-				}
-				return true
-			}
-			for i, r := range n.Rhs {
-				if i < len(n.Lhs) && st.exprTainted(r) {
-					mark(n.Lhs[i], n)
-				}
-			}
-		case *ast.ValueSpec:
-			if len(n.Values) == 1 && len(n.Names) > 1 {
-				if st.exprTainted(n.Values[0]) {
-					for _, name := range n.Names {
-						mark(name, n)
-					}
-				}
-				return true
-			}
-			for i, v := range n.Values {
-				if i < len(n.Names) && st.exprTainted(v) {
-					mark(n.Names[i], n)
-				}
-			}
-		case *ast.RangeStmt:
-			if st.exprTainted(n.X) {
-				if n.Key != nil {
-					mark(n.Key, n)
-				}
-				if n.Value != nil {
-					mark(n.Value, n)
-				}
-			}
-		}
-		return true
-	})
-	return changed
-}
-
-// exprTainted reports whether evaluating e can yield secret data.
-func (st *taintState) exprTainted(e ast.Expr) bool {
-	switch e := e.(type) {
-	case nil:
-		return false
-	case *ast.Ident:
-		obj := st.u.Pkg.Info.Uses[e]
-		return obj != nil && st.tainted[obj]
-	case *ast.SelectorExpr:
-		if sel, ok := st.u.Pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
-			if st.u.Prog.SecretFields[sel.Obj()] {
-				return true
-			}
-		}
-		return st.exprTainted(e.X)
-	case *ast.IndexExpr:
-		return st.exprTainted(e.X) || st.exprTainted(e.Index)
-	case *ast.SliceExpr:
-		return st.exprTainted(e.X)
-	case *ast.StarExpr:
-		return st.exprTainted(e.X)
-	case *ast.ParenExpr:
-		return st.exprTainted(e.X)
-	case *ast.UnaryExpr:
-		return st.exprTainted(e.X)
-	case *ast.BinaryExpr:
-		return st.exprTainted(e.X) || st.exprTainted(e.Y)
-	case *ast.TypeAssertExpr:
-		return st.exprTainted(e.X)
-	case *ast.CompositeLit:
-		for _, el := range e.Elts {
-			if st.exprTainted(el) {
-				return true
-			}
-		}
-		return false
-	case *ast.KeyValueExpr:
-		return st.exprTainted(e.Value)
-	case *ast.CallExpr:
-		// len and cap of a payload are public: block geometry is fixed by
-		// the configuration, not the data.
-		if id, ok := e.Fun.(*ast.Ident); ok {
-			if b, ok := st.u.Pkg.Info.Uses[id].(*types.Builtin); ok {
-				switch b.Name() {
-				case "len", "cap":
-					return false
-				}
-			}
-		}
-		// Conversions and ordinary calls: tainted arguments taint the
-		// result (conservative — the callee is not inspected).
-		for _, arg := range e.Args {
-			if st.exprTainted(arg) {
-				return true
-			}
-		}
-		return false
-	default:
-		return false
-	}
-}
-
-// checkCond reports a sink if the condition is tainted and not
-// declassified at the site.
-func (st *taintState) checkCond(cond ast.Expr, what string) {
-	if cond == nil || !st.exprTainted(cond) {
-		return
-	}
-	p := st.u.Prog.Fset.Position(cond.Pos())
-	if st.u.Pkg.directiveAt("public", p.Filename, p.Line) != nil {
-		return
-	}
-	st.u.Reportf(cond.Pos(), "%s depends on secret block payload bytes; the resulting access pattern leaks data (declassify with //proram:public only if the value is public by protocol)", what)
-}
-
-// checkObsEmission reports secret-tainted arguments flowing into the
-// observability layer. Metrics and traces leave the trusted boundary
-// (they are written to export files an adversary may read), so a metric
-// name or event argument derived from payload bytes is a direct leak
-// even though no branch is taken on it.
-func (st *taintState) checkObsEmission(call *ast.CallExpr) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	fn, ok := st.u.Pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return
-	}
-	if fn.Pkg().Path() != st.u.Prog.ModulePath+"/internal/obs" {
-		return
-	}
-	for _, arg := range call.Args {
-		if !st.exprTainted(arg) {
-			continue
-		}
-		p := st.u.Prog.Fset.Position(arg.Pos())
-		if st.u.Pkg.directiveAt("public", p.Filename, p.Line) != nil {
-			continue
-		}
-		st.u.Reportf(arg.Pos(), "observability emission argument depends on secret block payload bytes; metrics and traces are exported off-chip (declassify with //proram:public only if the value is public by protocol)")
-	}
 }

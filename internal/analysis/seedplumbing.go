@@ -3,105 +3,62 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
-// SeedPlumbing verifies that every exported constructor in a package
-// that consumes proram/internal/rng derives its generator's seed from a
-// caller-supplied parameter instead of defaulting one internally. A
-// constructor that hard-codes its seed silently correlates (or
-// decorrelates) experiments that the caller believes share one seed knob
-// — exactly the reproducibility bug DESIGN.md's "every stochastic
-// component takes a seed" rule exists to prevent.
+// SeedPlumbing verifies that every exported constructor in the module
+// derives its generator's seed from a caller-supplied parameter instead
+// of defaulting one internally. A constructor that hard-codes its seed
+// silently correlates (or decorrelates) experiments that the caller
+// believes share one seed knob — exactly the reproducibility bug
+// DESIGN.md's "every stochastic component takes a seed" rule exists to
+// prevent.
+//
+// The pass runs on call-graph reachability: the function summaries
+// (summary.go) record every rng.New construction a function performs,
+// directly or transitively through module-local helpers, together with
+// the set of parameters whose values feed the seed. An exported New*
+// constructor owning a site with an empty parameter set — no matter how
+// many helpers deep the rng.New call hides — is flagged at the call
+// that reaches it. Sites whose seed is caller-controlled somewhere down
+// the chain, and sites already reported at a nested exported
+// constructor, are not re-reported.
 func SeedPlumbing() *Pass {
 	p := &Pass{
 		Name: "seedplumbing",
-		Doc:  "exported constructors must thread caller-supplied seeds into rng construction",
+		Doc:  "exported constructors must thread caller-supplied seeds into rng construction (call-graph reachability)",
 	}
 	p.Run = func(u *Unit) {
 		rngPath := u.Prog.ModulePath + "/internal/rng"
-		if u.Pkg.Path == rngPath || !importsPath(u.Pkg, rngPath) {
+		if u.Pkg.Path == rngPath {
 			return
 		}
+		sums := u.Prog.taintSummaries()
 		for _, f := range u.Pkg.Files {
 			for _, decl := range f.Decls {
 				fn, ok := decl.(*ast.FuncDecl)
 				if !ok || fn.Body == nil {
 					continue
 				}
-				if !fn.Name.IsExported() || !strings.HasPrefix(fn.Name.Name, "New") {
+				obj, ok := u.Pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
 					continue
 				}
-				params := paramObjects(u.Pkg.Info, fn)
-				ast.Inspect(fn.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
+				sum := sums.byFunc[obj]
+				if sum == nil || !isExportedConstructor(sum.node) {
+					continue
+				}
+				for _, site := range sum.rngSites {
+					if site.mask != 0 {
+						continue // caller-controlled (or untraceable) seed
 					}
-					pkgPath, fname := calleePackageFunc(u.Pkg.Info, call)
-					if pkgPath != rngPath || fname != "New" || len(call.Args) != 1 {
-						return true
+					if site.via == "" {
+						u.Reportf(site.pos, "%s seeds its RNG internally; take a seed (or a config with a Seed field) and pass it through so callers control reproducibility", fn.Name.Name)
+					} else {
+						u.Reportf(site.pos, "%s seeds its RNG internally (through %s); take a seed (or a config with a Seed field) and pass it through so callers control reproducibility", fn.Name.Name, site.via)
 					}
-					if !derivesFromParams(u.Pkg.Info, call.Args[0], params) {
-						u.Reportf(call.Pos(), "%s seeds its RNG internally; take a seed (or a config with a Seed field) and pass it through so callers control reproducibility", fn.Name.Name)
-					}
-					return true
-				})
+				}
 			}
 		}
 	}
 	return p
-}
-
-// importsPath reports whether any file of the package imports path.
-func importsPath(pkg *Package, path string) bool {
-	for _, imp := range pkg.importPaths() {
-		if imp == path {
-			return true
-		}
-	}
-	return false
-}
-
-// paramObjects collects the parameter and receiver objects of fn plus
-// the parameters of any function literals nested in its body.
-func paramObjects(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
-	params := make(map[types.Object]bool)
-	collect := func(fl *ast.FieldList) {
-		if fl == nil {
-			return
-		}
-		for _, field := range fl.List {
-			for _, name := range field.Names {
-				if obj := info.Defs[name]; obj != nil {
-					params[obj] = true
-				}
-			}
-		}
-	}
-	collect(fn.Recv)
-	collect(fn.Type.Params)
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			collect(lit.Type.Params)
-		}
-		return true
-	})
-	return params
-}
-
-// derivesFromParams reports whether the expression references at least
-// one constructor parameter (directly or through field selection), i.e.
-// whether the seed value is caller-controlled.
-func derivesFromParams(info *types.Info, e ast.Expr, params map[types.Object]bool) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if obj := info.Uses[id]; obj != nil && params[obj] {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
 }

@@ -1,0 +1,135 @@
+// Package allocdiscipline is a proram-vet golden fixture for the
+// hot-path allocation pass: every allocation shape inside a
+// //proram:hotpath function is flagged, allocations reached through
+// module-local helpers are reported at the call site with the helper
+// chain, and the exemptions (doomed panic paths, justified helper
+// allocations, hot callees checked in their own right) stay quiet.
+package allocdiscipline
+
+import "fmt"
+
+type ring struct {
+	buf []uint64
+}
+
+type entry struct{ k, v uint64 }
+
+// push is the direct-allocation case.
+//
+//proram:hotpath fixture: the simulated access path
+func (r *ring) push(v uint64) {
+	r.buf = append(r.buf, v) // want `append may grow its backing array in //proram:hotpath function push`
+}
+
+//proram:hotpath fixture: the simulated access path
+func makeScratch() []uint64 {
+	return make([]uint64, 8) // want `make allocates in //proram:hotpath function makeScratch`
+}
+
+//proram:hotpath fixture: the simulated access path
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates in //proram:hotpath function concat`
+}
+
+//proram:hotpath fixture: the simulated access path
+func capture(n int) func() int {
+	return func() int { return n } // want `closure captures escape to the heap in //proram:hotpath function capture`
+}
+
+//proram:hotpath fixture: the simulated access path
+func box(k, v uint64) *entry {
+	return &entry{k: k, v: v} // want `composite literal escapes to the heap in //proram:hotpath function box`
+}
+
+//proram:hotpath fixture: the simulated access path
+func toBytes(s string) []byte {
+	return []byte(s) // want `string/byte-slice conversion copies in //proram:hotpath function toBytes`
+}
+
+//proram:hotpath fixture: the simulated access path
+func render(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates in //proram:hotpath function render`
+}
+
+func worker() {}
+
+//proram:hotpath fixture: the simulated access path
+func spawns() {
+	go worker() // want `go statement allocates in //proram:hotpath function spawns`
+}
+
+//proram:hotpath fixture: the simulated access path
+func literals() int {
+	xs := []int{1, 2}  // want `slice literal allocates in //proram:hotpath function literals`
+	m := map[int]int{} // want `map literal allocates in //proram:hotpath function literals`
+	return len(xs) + len(m)
+}
+
+// grow allocates; hot callers see it through its summary.
+func grow(s []uint64) []uint64 {
+	return append(s, 0)
+}
+
+//proram:hotpath fixture: the simulated access path
+func useGrow(s []uint64) []uint64 {
+	return grow(s) // want `call to grow allocates \(append may grow its backing array at internal/analysis/testdata/src/allocdiscipline/allocdiscipline\.go:\d+\) in //proram:hotpath function useGrow`
+}
+
+func viaGrow(s []uint64) []uint64 {
+	return grow(s)
+}
+
+//proram:hotpath fixture: the simulated access path
+func useViaGrow(s []uint64) []uint64 {
+	return viaGrow(s) // want `call to viaGrow → grow allocates \(append may grow its backing array at .*\) in //proram:hotpath function useViaGrow`
+}
+
+// checked allocates only on a path every exit of which panics: failure
+// handling, not steady-state work.
+//
+//proram:hotpath fixture: the simulated access path
+func checked(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+	return n * 2
+}
+
+// warmUp is not hot: it may allocate freely.
+func warmUp() []uint64 {
+	return make([]uint64, 1024)
+}
+
+//proram:hotpath fixture: the simulated access path
+func allowedAlloc() []uint64 {
+	return make([]uint64, 4) //proram:allow allocdiscipline fixture: one-time warm-up inside the hot function
+}
+
+// pool's justified allocation is exempt for every hot caller.
+func pool() []uint64 {
+	return make([]uint64, 4) //proram:allow allocdiscipline fixture: amortized warm-up, measured allocation-free at steady state
+}
+
+//proram:hotpath fixture: the simulated access path
+func usePool() []uint64 {
+	return pool()
+}
+
+//proram:hotpath fixture: the simulated access path
+func hotLeaf(s []uint64) []uint64 {
+	return append(s, 1) // want `append may grow its backing array in //proram:hotpath function hotLeaf`
+}
+
+// hotCaller's callee is itself hot: checked in its own right, not
+// re-reported here.
+//
+//proram:hotpath fixture: the simulated access path
+func hotCaller(s []uint64) []uint64 {
+	return hotLeaf(s)
+}
+
+//proram:hotpath fixture: floating directive, attached to nothing // want `//proram:hotpath is not attached to a function declaration`
+var scratch []uint64
+
+var _ = scratch
+var _ = warmUp

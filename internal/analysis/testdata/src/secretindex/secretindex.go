@@ -1,0 +1,59 @@
+// Package secretindex is a proram-vet golden fixture for the
+// secret-index sink: a slice, array or map index (or slice bound)
+// derived from secret payload bytes selects which addresses are touched
+// — the classic ORAM access-pattern leak, dangerous even when control
+// flow is perfectly straight-line. Public indexes into secret data are
+// fine; it is the index value that matters, not the indexed container.
+package secretindex
+
+type block struct {
+	id uint64
+	//proram:secret fixture payload bytes
+	data []byte
+}
+
+var table [256]uint64
+
+var cache = map[byte]uint64{}
+
+func directIndex(b block) uint64 {
+	return table[b.data[0]] // want `memory index depends on secret block payload bytes`
+}
+
+func viaLocal(b block) uint64 {
+	i := int(b.data[1])
+	return table[i] // want `memory index depends on secret block payload bytes`
+}
+
+// lookup's summary records that parameter i reaches a memory index.
+func lookup(i byte) uint64 {
+	return table[i]
+}
+
+func viaHelper(b block) uint64 {
+	return lookup(b.data[2]) // want `secret block payload bytes flow into parameter "i" of lookup and reach a memory index`
+}
+
+func mapIndex(b block) uint64 {
+	return cache[b.data[3]] // want `memory index depends on secret block payload bytes`
+}
+
+func sliceBound(b block) []byte {
+	return b.data[:b.data[4]] // want `slice bound depends on secret block payload bytes`
+}
+
+// Indexing *into* the payload with a public index does not leak: the
+// address touched is public even though the value read is secret.
+func publicIndex(b block) byte {
+	return b.data[int(b.id)%len(b.data)]
+}
+
+func declassifiedIndex(b block) uint64 {
+	v := b.data[5] //proram:public fixture: the routing byte is public by protocol
+	return table[v]
+}
+
+func allowedIndex(b block) uint64 {
+	//proram:allow oblivious fixture: debug-only table, never on the access path
+	return table[b.data[6]]
+}

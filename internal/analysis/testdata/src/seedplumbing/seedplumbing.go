@@ -40,3 +40,31 @@ func newInternal() *Engine {
 }
 
 var _ = newInternal
+
+// The reachability cases: the rng.New call hides one or two helpers
+// below the exported constructor, and the finding surfaces at the
+// constructor's call into the chain.
+
+func newHelper() *rng.Source {
+	return rng.New(11)
+}
+
+func newDeeper() *rng.Source {
+	return newHelper()
+}
+
+func NewDeep() *Engine {
+	return &Engine{src: newHelper()} // want `NewDeep seeds its RNG internally \(through newHelper\)`
+}
+
+func NewDeeper() *Engine {
+	return &Engine{src: newDeeper()} // want `NewDeeper seeds its RNG internally \(through newDeeper → newHelper\)`
+}
+
+func newSeededHelper(seed uint64) *rng.Source {
+	return rng.New(seed)
+}
+
+func NewDeepSeeded(seed uint64) *Engine {
+	return &Engine{src: newSeededHelper(seed)}
+}

@@ -112,6 +112,8 @@ func (m *Model) Config() Config { return m.cfg }
 func (m *Model) Stats() Stats { return m.stats }
 
 // transferCycles is the channel occupancy of moving n bytes.
+//
+//proram:hotpath timing arithmetic for every DRAM enqueue
 func (m *Model) transferCycles(bytes uint64) uint64 {
 	bpc := m.cfg.BytesPerCycle()
 	t := uint64(float64(bytes)/bpc + 0.999999)
@@ -132,6 +134,8 @@ func maxU64(a, b uint64) uint64 {
 // address. Banks may overlap independent accesses, but the shared channel
 // serializes data transfer. It returns the cycle at which the data is
 // available.
+//
+//proram:hotpath one enqueue per baseline cache-line access
 func (m *Model) Access(now, addr, bytes uint64) uint64 {
 	bank := int((addr / 4096) % uint64(len(m.bankUntil))) // page-interleaved
 	transfer := m.transferCycles(bytes)
@@ -156,6 +160,8 @@ func (m *Model) Access(now, addr, bytes uint64) uint64 {
 // read+write saturates the channel; nothing overlaps it). It returns the
 // completion time. extraLatency is added once up front (e.g. the first
 // DRAM access latency and crypto pipeline fill).
+//
+//proram:hotpath one enqueue per ORAM path transfer
 func (m *Model) BulkTransfer(now, bytes, extraLatency uint64) uint64 {
 	transfer := m.transferCycles(bytes)
 	start := maxU64(now, m.busUntil)

@@ -131,6 +131,8 @@ func (c *Controller) Stats() Stats {
 func (c *Controller) Trace() []TraceEvent { return c.trace }
 
 // randLeaf draws a fresh uniform leaf label.
+//
+//proram:hotpath one draw per path access and per remap
 func (c *Controller) randLeaf() mem.Leaf {
 	return mem.Leaf(c.rnd.Uint64n(c.tr.Leaves()))
 }
@@ -139,6 +141,8 @@ func (c *Controller) randLeaf() mem.Leaf {
 // invariant failure: the controller only adds blocks it just removed from
 // the tree or proved absent from the stash, so a rejection means the
 // protocol state is corrupt.
+//
+//proram:hotpath runs once per block on every path read
 func (c *Controller) mustAdd(id mem.BlockID, leaf mem.Leaf) {
 	if err := c.st.Add(id, leaf); err != nil {
 		//proram:invariant callers add only blocks removed from the tree or proven absent, so a stash rejection is unrecoverable state corruption
@@ -148,6 +152,8 @@ func (c *Controller) mustAdd(id mem.BlockID, leaf mem.Leaf) {
 
 // leafOf returns the current mapping of any block, consulting the on-chip
 // table for top-level position-map blocks and parent entries otherwise.
+//
+//proram:hotpath position lookup for every block on a read path
 func (c *Controller) leafOf(id mem.BlockID) mem.Leaf {
 	if id.Level() == c.pm.Depth() {
 		return c.pm.TopLeaf(id.Index())
@@ -167,6 +173,8 @@ func maxU64(a, b uint64) uint64 {
 // dummy accesses the public schedule demands for the idle gap and then
 // returns the next slot; otherwise the access starts as soon as both the
 // request and the controller are ready.
+//
+//proram:hotpath scheduling decision before every path access
 func (c *Controller) scheduleStart(ready uint64) uint64 {
 	if !c.cfg.Periodic {
 		return maxU64(ready, c.lastEnd)
@@ -186,6 +194,8 @@ func (c *Controller) scheduleStart(ready uint64) uint64 {
 // runs while everything is on-chip (this is where remaps and the super
 // block algorithms act), and the stash is then greedily written back onto
 // the same path. Returns the completion cycle.
+//
+//proram:hotpath the core path read+write of every ORAM access
 func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind, during func()) uint64 {
 	end := start + c.pathLat
 	c.lastEnd = end
@@ -209,7 +219,7 @@ func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind,
 		// counted by the caller
 	}
 	if c.cfg.RecordTrace {
-		c.trace = append(c.trace, TraceEvent{Leaf: uint64(leaf), Start: start, Kind: kind})
+		c.trace = append(c.trace, TraceEvent{Leaf: uint64(leaf), Start: start, Kind: kind}) //proram:allow allocdiscipline trace recording is opt-in debugging, off in measured runs
 	}
 	c.obsPaths.Inc()
 	c.obsKindCtr[kind].Inc()
@@ -230,6 +240,8 @@ func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind,
 // backgroundEvictions drains stash pressure with dummy accesses: random
 // path read+writes with no remapping, after which stash occupancy cannot
 // have grown (§2.4). Returns the number issued.
+//
+//proram:hotpath runs after every demand access
 func (c *Controller) backgroundEvictions() int {
 	n := 0
 	noProgress := 0
@@ -267,6 +279,8 @@ func (c *Controller) backgroundEvictions() int {
 // accessPosMapBlock performs one recursion-level path access: remap the
 // position-map block, read its old path, write back. kind distinguishes
 // recursion walks from PLB victim write-backs for accounting.
+//
+//proram:hotpath one run per recursion level on every PLB miss
 func (c *Controller) accessPosMapBlock(ready uint64, id mem.BlockID, kind AccessKind) {
 	// Resolve the schedule first: in periodic mode this issues catch-up
 	// dummy accesses, which move blocks around and must therefore observe
@@ -290,6 +304,7 @@ func (c *Controller) accessPosMapBlock(ready uint64, id mem.BlockID, kind Access
 	if isNew {
 		readLeaf = newLeaf
 	}
+	//proram:allow allocdiscipline the during-path callback is one fixed closure per access, not per-block work
 	c.rawPathAccess(start, readLeaf, kind, func() {
 		switch {
 		case c.st.Contains(id):
@@ -307,15 +322,20 @@ func (c *Controller) accessPosMapBlock(ready uint64, id mem.BlockID, kind Access
 // cycle now. Write serves a dirty LLC eviction. Both perform the full
 // recursive access; only Read returns prefetched siblings and exercises
 // the merge/break algorithms.
+//
+//proram:hotpath demand-miss entry point
 func (c *Controller) Read(now uint64, index uint64) Result {
 	return c.access(now, index, false)
 }
 
 // Write writes back a dirty data block evicted from the LLC.
+//
+//proram:hotpath dirty-eviction entry point
 func (c *Controller) Write(now uint64, index uint64) Result {
 	return c.access(now, index, true)
 }
 
+//proram:hotpath full recursive access, the per-request critical path
 func (c *Controller) access(now uint64, index uint64, wb bool) Result {
 	if index >= c.cfg.NumBlocks {
 		//proram:invariant the access path deliberately has no error channel; an out-of-range index is a caller bug, not simulated input
@@ -334,7 +354,7 @@ func (c *Controller) access(now uint64, index uint64, wb bool) Result {
 	c.chain = c.chain[:0]
 	idx := index
 	for l := 0; l <= depth; l++ {
-		c.chain = append(c.chain, idx)
+		c.chain = append(c.chain, idx) //proram:allow allocdiscipline appends into a reusable buffer reset to length 0; capacity is retained across accesses
 		idx /= uint64(c.cfg.Fanout)
 	}
 	startLvl := depth + 1 // no PLB hit: start from the on-chip table
@@ -405,6 +425,8 @@ func (c *Controller) rollWindow() {
 // NotifyPrefetchUse records that a prefetched block was hit in the LLC:
 // the block's hit bit is set (paper: "In Processor: when block b is
 // accessed, b.hit = true") and the prefetch counts as a hit.
+//
+//proram:hotpath runs on every LLC hit of a prefetched line
 func (c *Controller) NotifyPrefetchUse(index uint64) {
 	if c.hitBits[index] {
 		return

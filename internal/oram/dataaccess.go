@@ -15,6 +15,8 @@ import (
 // members are returned as prefetches.
 //
 // It returns the completion cycle and the prefetched sibling indices.
+//
+//proram:hotpath the data-tree access of every demand request
 func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []uint64) {
 	fanout := uint64(c.cfg.Fanout)
 	// Resolve the schedule first: periodic catch-up dummies must run
@@ -60,6 +62,7 @@ func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []
 	}
 
 	var prefetched []uint64
+	//proram:allow allocdiscipline the during-path callback is one fixed closure per access, not per-block work
 	done := c.rawPathAccess(start, readLeaf, kind, func() {
 		// Gather: every member is now on-chip (path read moved tree
 		// residents to the stash; the rest were already stashed).
@@ -121,7 +124,7 @@ func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []
 			delete(c.hitBits, gi)
 			c.stats.PrefetchIssued++
 			c.winIssued++
-			prefetched = append(prefetched, gi)
+			prefetched = append(prefetched, gi) //proram:allow allocdiscipline the result escapes to the caller, and install/evict re-enters Write while it is held, so the slice cannot be pooled
 		}
 	})
 	return done, prefetched
@@ -149,6 +152,8 @@ func (c *Controller) staticGroupSize(pb *posmap.Block, slot int) int {
 // breakUpdate implements the counter phase of Algorithm 2: every member's
 // prefetch/hit bits are folded into the break counter (hit: +1, miss: -1)
 // and cleared. It returns the raw (unclamped) counter value.
+//
+//proram:hotpath runs inside every dynamic-scheme super-block access
 func (c *Controller) breakUpdate(g group) int {
 	raw := int(g.pb.BreakCounter(g.start))
 	for i := g.start; i < g.start+g.size; i++ {
@@ -182,6 +187,8 @@ func (c *Controller) breakUpdate(g group) int {
 // splits into two halves mapped to independent fresh leaves; the half
 // containing the demand block keeps the leaf chosen for this access. It
 // returns the demand half.
+//
+//proram:hotpath runs inside the path access that triggers a break
 func (c *Controller) breakGroup(g group, slot int, keepLeaf mem.Leaf) group {
 	half := g.size / 2
 	otherLeaf := c.randLeaf()
@@ -226,6 +233,8 @@ func (c *Controller) breakGroup(g group, slot int, keepLeaf mem.Leaf) group {
 // on reaching the threshold the accessed super block B adopts the
 // neighbor's position ("changing the position map of B to the position map
 // of B'"), forming a super block of twice the size.
+//
+//proram:hotpath runs on every dynamic-scheme demand read
 func (c *Controller) mergeCheck(g group) {
 	n := g.size
 	if 2*n > c.policy.MaxSize() {

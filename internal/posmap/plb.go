@@ -59,6 +59,8 @@ func (p *PLB) Len() int { return p.lru.Len() }
 
 // Lookup reports whether id is cached, promoting it on hit and recording
 // hit/miss statistics.
+//
+//proram:hotpath probed once per recursion level on every access
 func (p *PLB) Lookup(id mem.BlockID) bool {
 	if e, ok := p.index[id]; ok {
 		p.lru.MoveToFront(e)
@@ -79,6 +81,8 @@ func (p *PLB) Contains(id mem.BlockID) bool {
 
 // MarkDirty flags a cached block as modified. It reports whether the block
 // was present.
+//
+//proram:hotpath runs on every remap
 func (p *PLB) MarkDirty(id mem.BlockID) bool {
 	e, ok := p.index[id]
 	if !ok {
@@ -92,6 +96,8 @@ func (p *PLB) MarkDirty(id mem.BlockID) bool {
 // least recently used block is evicted and returned with its dirty flag;
 // the caller must write dirty victims back to the ORAM. ok reports whether
 // a victim was produced.
+//
+//proram:hotpath runs once per recursion level walked
 func (p *PLB) Insert(id mem.BlockID) (victim mem.BlockID, dirty, ok bool) {
 	if p.capacity == 0 {
 		// PLB disabled: nothing is cached and there is no victim — the
@@ -102,19 +108,24 @@ func (p *PLB) Insert(id mem.BlockID) (victim mem.BlockID, dirty, ok bool) {
 		p.lru.MoveToFront(e)
 		return mem.Nil, false, false
 	}
-	p.lru.PushFront(&plbEntry{id: id})
-	p.index[id] = p.lru.Front()
-	if p.lru.Len() <= p.capacity {
+	if p.lru.Len() < p.capacity {
+		p.lru.PushFront(&plbEntry{id: id}) //proram:allow allocdiscipline warm-up below capacity only; at capacity the LRU entry is recycled in place
+		p.index[id] = p.lru.Front()
 		return mem.Nil, false, false
 	}
+	// At capacity: recycle the least recently used entry in place
+	// rather than allocating a new node and unlinking the victim's.
 	back := p.lru.Back()
 	ent := back.Value.(*plbEntry)
-	p.lru.Remove(back)
 	delete(p.index, ent.id)
-	if ent.dirty {
+	victim, dirty = ent.id, ent.dirty
+	ent.id, ent.dirty = id, false
+	p.lru.MoveToFront(back)
+	p.index[id] = back
+	if dirty {
 		p.obsDirtyEvicts.Inc()
 	}
-	return ent.id, ent.dirty, true
+	return victim, dirty, true
 }
 
 // Remove drops id from the PLB (e.g. after an explicit write-back),

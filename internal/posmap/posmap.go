@@ -166,12 +166,14 @@ func (h *Hierarchy) materialize(level int, index uint64) *Block {
 	if rem := h.counts[level-1] - index*uint64(h.cfg.Fanout); rem < uint64(nChildren) {
 		nChildren = int(rem)
 	}
-	b := &Block{Level: level, Index: index, Entries: make([]Entry, nChildren)}
+	b := &Block{Level: level, Index: index, Entries: make([]Entry, nChildren)} //proram:allow allocdiscipline lazy one-time materialization per position-map block, amortized across all later touches
 	for e := range b.Entries {
 		b.Entries[e] = Entry{Leaf: mem.NoLeaf, SBSize: 1}
 	}
 	if level == 1 {
+		//proram:allow allocdiscipline one-time per-block counter storage, allocated on first touch
 		b.mergeCtr = make([]uint8, nChildren)
+		//proram:allow allocdiscipline one-time per-block counter storage, allocated on first touch
 		b.breakCtr = make([]uint8, nChildren)
 	}
 	h.blocks[level][index] = b
@@ -192,6 +194,8 @@ func (h *Hierarchy) Fanout() int { return h.cfg.Fanout }
 
 // Block returns the position-map block at the given level (>= 1) and index,
 // materializing it on first touch.
+//
+//proram:hotpath fetched for every data access
 func (h *Hierarchy) Block(level int, index uint64) *Block {
 	if level < 1 || level > h.Depth() {
 		//proram:invariant levels come from mem.BlockID values the controller built with MakeID against this hierarchy's depth
@@ -214,6 +218,8 @@ func (h *Hierarchy) Parent(level int, index uint64) (uint64, int) {
 // EntryFor returns the position-map entry describing block (level, index).
 // For level == Depth() the mapping is on-chip and has no Entry; use
 // TopLeaf/SetTopLeaf instead.
+//
+//proram:hotpath position lookup on every path read
 func (h *Hierarchy) EntryFor(level int, index uint64) *Entry {
 	if level >= h.Depth() {
 		//proram:invariant callers branch to TopLeaf for level == Depth() first; reaching here with one is a recursion bug, not an input error
@@ -225,6 +231,8 @@ func (h *Hierarchy) EntryFor(level int, index uint64) *Entry {
 
 // TopLeaf returns the on-chip leaf of the top-level block at index, or
 // mem.NoLeaf if it was never assigned.
+//
+//proram:hotpath on-chip table read for every recursion walk
 func (h *Hierarchy) TopLeaf(index uint64) mem.Leaf {
 	if leaf, ok := h.onChip[index]; ok {
 		return leaf

@@ -71,15 +71,17 @@ func (s *Stash) OverLimit() bool { return len(s.index) > s.limit }
 // Add inserts a block mapped to leaf. It errors on a nil id and on a
 // block that is already stashed; both indicate a protocol bug in the
 // caller, which decides whether that is fatal.
+//
+//proram:hotpath one insert per block on every path read
 func (s *Stash) Add(id mem.BlockID, leaf mem.Leaf) error {
 	if id.IsNil() {
-		return fmt.Errorf("stash: Add with nil block")
+		return fmt.Errorf("stash: Add with nil block") //proram:allow allocdiscipline failure path for a caller protocol bug; never taken in a correct run
 	}
 	if _, ok := s.index[id]; ok {
-		return fmt.Errorf("stash: duplicate add of %v", id)
+		return fmt.Errorf("stash: duplicate add of %v", id) //proram:allow allocdiscipline failure path for a caller protocol bug; never taken in a correct run
 	}
 	s.index[id] = len(s.order)
-	s.order = append(s.order, entry{id: id, leaf: leaf})
+	s.order = append(s.order, entry{id: id, leaf: leaf}) //proram:allow allocdiscipline bounded by the occupancy invariant and reclaimed by maybeCompact; steady state reuses capacity
 	if len(s.index) > s.highWater {
 		s.highWater = len(s.index)
 		s.obsHighWater.Max(float64(s.highWater))
@@ -88,6 +90,8 @@ func (s *Stash) Add(id mem.BlockID, leaf mem.Leaf) error {
 }
 
 // Contains reports whether id is stashed.
+//
+//proram:hotpath membership probe for every gathered block
 func (s *Stash) Contains(id mem.BlockID) bool {
 	_, ok := s.index[id]
 	return ok
@@ -104,6 +108,8 @@ func (s *Stash) Leaf(id mem.BlockID) (mem.Leaf, bool) {
 
 // SetLeaf remaps a stashed block to a new leaf. It reports whether the
 // block was present.
+//
+//proram:hotpath remap of every super-block member
 func (s *Stash) SetLeaf(id mem.BlockID, leaf mem.Leaf) bool {
 	pos, ok := s.index[id]
 	if !ok {
@@ -114,6 +120,8 @@ func (s *Stash) SetLeaf(id mem.BlockID, leaf mem.Leaf) bool {
 }
 
 // Remove deletes a block from the stash, reporting whether it was present.
+//
+//proram:hotpath runs during write-back
 func (s *Stash) Remove(id mem.BlockID) bool {
 	pos, ok := s.index[id]
 	if !ok {
@@ -127,6 +135,8 @@ func (s *Stash) Remove(id mem.BlockID) bool {
 
 // maybeCompact rebuilds the order slice when tombstones dominate, so the
 // slice stays O(live entries) without changing iteration order.
+//
+//proram:hotpath amortized compaction inside removals and evictions
 func (s *Stash) maybeCompact() {
 	if len(s.order) < 64 || len(s.order) < 2*len(s.index) {
 		return
@@ -135,7 +145,7 @@ func (s *Stash) maybeCompact() {
 	for _, e := range s.order {
 		if !e.id.IsNil() {
 			s.index[e.id] = len(live)
-			live = append(live, e)
+			live = append(live, e) //proram:allow allocdiscipline compacts in place: live aliases s.order[:0], so no new backing array is ever grown
 		}
 	}
 	s.order = live
@@ -157,11 +167,13 @@ func (s *Stash) ForEach(visit func(id mem.BlockID, leaf mem.Leaf)) {
 // paths share that bucket, i.e. d <= CommonDepth(accessLeaf, b).
 //
 // It returns the number of blocks written back.
+//
+//proram:hotpath the write-back phase of every path access
 func (s *Stash) EvictToPath(t *tree.Tree, accessLeaf mem.Leaf) int {
 	levels := t.Levels()
 	// Group live entries by the deepest depth they may occupy on this path.
 	if cap(s.scratch) < levels+1 {
-		s.scratch = make([][]mem.BlockID, levels+1)
+		s.scratch = make([][]mem.BlockID, levels+1) //proram:allow allocdiscipline one-time warm-up behind the capacity guard
 	}
 	groups := s.scratch[:levels+1]
 	for i := range groups {
@@ -172,13 +184,13 @@ func (s *Stash) EvictToPath(t *tree.Tree, accessLeaf mem.Leaf) int {
 			continue
 		}
 		d := t.CommonDepth(accessLeaf, e.leaf)
-		groups[d] = append(groups[d], e.id)
+		groups[d] = append(groups[d], e.id) //proram:allow allocdiscipline buckets reuse scratch capacity retained across evictions
 	}
 
 	placed := 0
 	carry := s.carry[:0]
 	for depth := levels; depth >= 0; depth-- {
-		carry = append(carry, groups[depth]...)
+		carry = append(carry, groups[depth]...) //proram:allow allocdiscipline appends into the reusable s.carry buffer
 		free := t.FreeAt(accessLeaf, depth)
 		for free > 0 && len(carry) > 0 {
 			id := carry[0]

@@ -63,6 +63,8 @@ func (t *Tree) Used() uint64 { return t.used }
 
 // NodeAt returns the heap index of the bucket at the given depth on the
 // path to leaf. Depth 0 is the root; depth L is the leaf bucket itself.
+//
+//proram:hotpath heap-index arithmetic on every bucket touch
 func (t *Tree) NodeAt(leaf mem.Leaf, depth int) uint64 {
 	if depth < 0 || depth > t.levels {
 		//proram:invariant depths are produced by loops bounded by t.levels; going past them is an algorithm bug
@@ -75,6 +77,8 @@ func (t *Tree) NodeAt(leaf mem.Leaf, depth int) uint64 {
 // CommonDepth returns the depth of the deepest bucket shared by the paths
 // to leaves a and b. A block mapped to leaf b may be written into any
 // bucket on path a at depth <= CommonDepth(a, b).
+//
+//proram:hotpath eviction depth computation for every stashed block
 func (t *Tree) CommonDepth(a, b mem.Leaf) int {
 	x := uint64(a) ^ uint64(b)
 	d := t.levels
@@ -103,12 +107,14 @@ func (t *Tree) BucketCount(node uint64) int {
 // RemovePath removes every real block on the path to leaf and appends
 // their IDs to dst, returning the extended slice. This is the read phase
 // of a Path ORAM access (step 2): all real blocks move to the stash.
+//
+//proram:hotpath the read phase of every path access
 func (t *Tree) RemovePath(leaf mem.Leaf, dst []mem.BlockID) []mem.BlockID {
 	for depth := 0; depth <= t.levels; depth++ {
 		base := t.slotBase(t.NodeAt(leaf, depth))
 		for i := 0; i < t.z; i++ {
 			if id := t.slots[base+uint64(i)]; !id.IsNil() {
-				dst = append(dst, id)
+				dst = append(dst, id) //proram:allow allocdiscipline appends into the caller's reusable path buffer
 				t.slots[base+uint64(i)] = mem.Nil
 				t.used--
 			}
@@ -133,6 +139,8 @@ func (t *Tree) ScanPath(leaf mem.Leaf, visit func(depth int, id mem.BlockID)) {
 // PlaceAt inserts id into the bucket at the given depth on the path to
 // leaf. It reports false if the bucket is full. This is the write-back
 // phase primitive (step 5).
+//
+//proram:hotpath the write-back primitive of every path access
 func (t *Tree) PlaceAt(leaf mem.Leaf, depth int, id mem.BlockID) bool {
 	if id.IsNil() {
 		//proram:invariant placing Nil would corrupt the free-slot accounting silently; callers iterate live stash entries only
@@ -151,6 +159,8 @@ func (t *Tree) PlaceAt(leaf mem.Leaf, depth int, id mem.BlockID) bool {
 
 // FreeAt returns the number of free slots in the bucket at depth on path
 // leaf.
+//
+//proram:hotpath bucket occupancy probe during write-back
 func (t *Tree) FreeAt(leaf mem.Leaf, depth int) int {
 	return t.z - t.BucketCount(t.NodeAt(leaf, depth))
 }
