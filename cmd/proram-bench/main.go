@@ -34,6 +34,9 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "workload scale factor (1 = full size)")
 		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		out   = flag.String("out", "", "directory to also write per-experiment files into")
+		// -bench-out pins a benchmark baseline: the experiment's table as
+		// deterministic JSON (e.g. -exp bench0 -bench-out BENCH_0.json).
+		benchOut = flag.String("bench-out", "", "write the experiment's table as deterministic JSON to this file (single -exp only)")
 
 		obsOn       = flag.Bool("obs", false, "instrument the simulated systems (metrics, time series, flight recorder)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (implies -obs)")
@@ -58,13 +61,16 @@ func main() {
 		}
 		return
 	case *all:
+		if *benchOut != "" {
+			fatal(fmt.Errorf("-bench-out needs a single -exp, not -all"))
+		}
 		for _, id := range exp.IDs() {
-			if err := runOne(id, *scale, *csv, *out, ob.rec); err != nil {
+			if err := runOne(id, *scale, *csv, *out, "", ob.rec); err != nil {
 				fatal(err)
 			}
 		}
 	case *expID != "":
-		if err := runOne(*expID, *scale, *csv, *out, ob.rec); err != nil {
+		if err := runOne(*expID, *scale, *csv, *out, *benchOut, ob.rec); err != nil {
 			fatal(err)
 		}
 	default:
@@ -76,7 +82,7 @@ func main() {
 	}
 }
 
-func runOne(id string, scale float64, csv bool, outDir string, rec *obs.Recorder) error {
+func runOne(id string, scale float64, csv bool, outDir, benchOut string, rec *obs.Recorder) error {
 	start := time.Now() //proram:allow determinism wall-clock timing is reporting-only and never feeds the simulation
 	tb, err := exp.Run(id, exp.Options{Scale: scale, Obs: rec})
 	if err != nil {
@@ -105,6 +111,16 @@ func runOne(id string, scale float64, csv bool, outDir string, rec *obs.Recorder
 		if err := os.WriteFile(filepath.Join(outDir, id+ext), []byte(body), 0o644); err != nil {
 			return err
 		}
+	}
+	if benchOut != "" {
+		js, err := tb.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchOut, js, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", benchOut)
 	}
 	return nil
 }

@@ -6,6 +6,11 @@
 //	proram-sim -workload ocean_c -scheme dynamic
 //	proram-sim -workload synthetic -locality 0.8 -ops 500000 -memory dram
 //	proram-sim -workload ycsb -scheme static -z 4 -stash 50
+//	proram-sim -workload ycsb -partitions 8 -clients 16
+//
+// With -partitions > 1 the workload is replayed through the partitioned
+// frontend's closed-loop scheduler (see internal/shard) instead of the
+// core timing model: the report shows rounds, padding and the makespan.
 //
 // Workloads: synthetic, ycsb, tpcc, or any Splash2/SPEC06 benchmark name
 // (water_ns ... ocean_nc, h264 ... mcf).
@@ -35,6 +40,10 @@ func main() {
 		warmup   = flag.Uint64("warmup", 0, "unmeasured warmup operations")
 		seed     = flag.Uint64("seed", 1, "workload / ORAM seed")
 
+		parts   = flag.Int("partitions", 1, "split the address space across this many independent ORAM partitions (>1 runs the sharded scheduler)")
+		clients = flag.Int("clients", 8, "sharded: closed-loop concurrent clients admitted per scheduling round")
+		slots   = flag.Int("round-slots", 0, "sharded: fixed ORAM accesses per partition per round (0 = default)")
+
 		obsOn       = flag.Bool("obs", false, "enable observability (metrics, time series, flight recorder)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (implies -obs; load in chrome://tracing or Perfetto)")
 		metricsOut  = flag.String("metrics-out", "", "write the deterministic metrics JSON dump to this file (implies -obs)")
@@ -49,6 +58,13 @@ func main() {
 	w, err := pickWorkload(*workload, *ops, *locality, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *parts > 1 {
+		if *memory != "oram" {
+			fatal(fmt.Errorf("-partitions needs -memory oram"))
+		}
+		runSharded(w, *parts, *clients, *slots, *scheme, *maxSB, *seed)
+		return
 	}
 	cfg := proram.SimConfig{
 		MaxSuperBlock:    *maxSB,
@@ -138,6 +154,39 @@ func main() {
 	if *stream {
 		fmt.Printf("stream prefetches    %d (hits %d)\n", res.StreamIssued, res.StreamHits)
 	}
+}
+
+// runSharded replays the workload through the partitioned frontend's
+// deterministic closed-loop scheduler and prints its report.
+func runSharded(w proram.Workload, parts, clients, slots int, scheme string, maxSB int, seed uint64) {
+	cfg := proram.DefaultConfig()
+	cfg.Partitions = parts
+	cfg.RoundSlots = slots
+	cfg.MaxSuperBlock = maxSB
+	cfg.Seed = seed
+	switch scheme {
+	case "none":
+		cfg.Scheme = proram.SchemeNone
+	case "static":
+		cfg.Scheme = proram.SchemeStatic
+	case "dynamic":
+		cfg.Scheme = proram.SchemeDynamic
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", scheme))
+	}
+	rep, err := proram.SimulateSharded(cfg, w, clients)
+	if err != nil {
+		fatal(err)
+	}
+	s := rep.Sched
+	fmt.Printf("workload         %s (%d ops)\n", w.Name, rep.Ops)
+	fmt.Printf("memory           oram, scheme %s, %d partitions, %d clients\n", scheme, parts, clients)
+	fmt.Printf("cycles           %d (slowest partition's clock)\n", s.Cycles)
+	fmt.Printf("rounds               %d × %d slots per partition\n", s.Rounds, s.RoundSlots)
+	fmt.Printf("path accesses        %d\n", rep.PathAccesses)
+	fmt.Printf("real / pad accesses  %d / %d (fill %.3f)\n", s.RealAccesses, s.PadAccesses, s.FillRatio)
+	fmt.Printf("cache hits           %d\n", s.CacheHits)
+	fmt.Printf("carryovers           %d\n", s.Carryovers)
 }
 
 func pickWorkload(name string, ops uint64, locality float64, seed uint64) (proram.Workload, error) {

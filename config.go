@@ -2,8 +2,10 @@ package proram
 
 import (
 	"fmt"
+	"io"
 
 	"proram/internal/oram"
+	"proram/internal/rng"
 	"proram/internal/superblock"
 )
 
@@ -59,6 +61,16 @@ type Config struct {
 	Key []byte
 	// Seed drives the ORAM's randomness. Zero means 1.
 	Seed uint64
+	// Partitions splits the address space across this many independent
+	// ORAM controllers behind the concurrent sharded frontend (NewSharded).
+	// New ignores it — the unified RAM is always one controller. Default 1.
+	Partitions int
+	// RoundSlots fixes the ORAM access count every partition issues per
+	// scheduling round in the sharded frontend (NewSharded only): demand
+	// accesses for queued requests, dummies for the rest, so the observable
+	// round shape is workload-independent. 0 picks 2×(MaxSuperBlock+1),
+	// the smallest round with headroom for two requests.
+	RoundSlots int
 }
 
 // DefaultConfig returns a PrORAM-enabled RAM of 2^16 blocks (8 MB).
@@ -99,6 +111,15 @@ func (c Config) normalize() (Config, error) {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Partitions == 0 {
+		c.Partitions = 1
+	}
+	if c.Partitions < 0 {
+		return c, fmt.Errorf("proram: Partitions %d must be positive", c.Partitions)
+	}
+	if c.RoundSlots < 0 {
+		return c, fmt.Errorf("proram: RoundSlots %d must be non-negative", c.RoundSlots)
+	}
 	if c.Blocks < 2 {
 		return c, fmt.Errorf("proram: Blocks %d too small", c.Blocks)
 	}
@@ -123,6 +144,22 @@ func (c Config) oramConfig() oram.Config {
 	o.Seed = c.Seed
 	o.Super = superblockConfig(c.Scheme, c.MaxSuperBlock)
 	return o
+}
+
+// sealKey returns the configured sealing key, deriving one from the seed
+// when none is supplied.
+func (c Config) sealKey() []byte {
+	if c.Key != nil {
+		return c.Key
+	}
+	return deriveKey(c.Seed)
+}
+
+// nonceSource returns the sealer's nonce stream. Deterministic nonces keep
+// whole experiments reproducible; supply Config.Key plus your own entropy
+// expectations for real deployments.
+func (c Config) nonceSource() io.Reader {
+	return rng.NewReader(c.Seed ^ 0x5eed)
 }
 
 // superblockConfig maps the public scheme to the internal policy config.

@@ -1,0 +1,76 @@
+// Sharded: serve concurrent clients from a partitioned oblivious RAM.
+//
+// proram.NewSharded splits the address space across independent Path ORAM
+// partitions (each with its own stash, position map and PrORAM prefetcher)
+// and schedules requests in padded rounds: every round, every partition
+// performs exactly the same number of ORAM accesses — demand work plus
+// dummies — so the storage learns nothing about which partitions are hot,
+// how many clients are active, or how requests interleave.
+//
+// Run with: go run ./examples/sharded
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"proram"
+)
+
+func main() {
+	cfg := proram.DefaultConfig()
+	cfg.Blocks = 1 << 14
+	cfg.Partitions = 8 // eight independent ORAM trees behind one front door
+	ram, err := proram.NewSharded(cfg, proram.ShardedOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Eight goroutines hammer the store concurrently, each on its own
+	// address stripe. No external locking: the scheduler batches and
+	// coalesces admissions into fixed-shape rounds.
+	const clients, span = 8, 256
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := uint64(c) * span
+			for i := uint64(0); i < span; i++ {
+				record := fmt.Sprintf("client-%d-record-%04d", c, i)
+				if err := ram.Write(base+i, []byte(record)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			for i := uint64(0); i < span; i++ {
+				data, err := ram.Read(base + i)
+				if err != nil {
+					log.Fatal(err)
+				}
+				want := fmt.Sprintf("client-%d-record-%04d", c, i)
+				if string(data[:len(want)]) != want {
+					log.Fatalf("block %d corrupted: %q", base+i, data[:len(want)])
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := ram.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	s := ram.SchedStats()
+	fmt.Printf("partitions            %d × %d slots per round\n", s.Partitions, s.RoundSlots)
+	fmt.Printf("rounds                %d demand + %d flush\n", s.Rounds, s.FlushRounds)
+	fmt.Printf("real / pad accesses   %d / %d (fill %.3f)\n", s.RealAccesses, s.PadAccesses, s.FillRatio)
+	fmt.Printf("cache hits            %d\n", s.CacheHits)
+	fmt.Printf("makespan              %d cycles (slowest partition)\n", s.Cycles)
+	fmt.Println("\nEvery round, every partition issued the same number of ORAM")
+	fmt.Println("accesses: the storage cannot tell eight clients from one, or a")
+	fmt.Println("hot partition from a cold one. Only the round count leaks.")
+
+	if err := ram.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -49,6 +49,7 @@ func TestHotPathAnnotationSweep(t *testing.T) {
 		"internal/prefetch",
 		"internal/superblock",
 		"internal/dram",
+		"internal/shard",
 	} {
 		if perPkg[rel] == 0 {
 			t.Errorf("package %s has no //proram:hotpath functions; the access path through it is unguarded", rel)

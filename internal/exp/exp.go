@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -140,6 +141,26 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the table as deterministic indented JSON: field order is
+// fixed by the struct, rows keep their append order, and no timestamps or
+// environment data are included — two identical runs produce identical
+// bytes. This is the format pinned benchmark baselines (BENCH_0.json) are
+// committed in.
+func (t *Table) JSON() ([]byte, error) {
+	out := struct {
+		ID      string   `json:"id"`
+		Title   string   `json:"title"`
+		Columns []string `json:"columns"`
+		Rows    []Row    `json:"rows"`
+		Notes   []string `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // Runner regenerates one table/figure.

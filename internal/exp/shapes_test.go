@@ -41,7 +41,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig5", "fig6a", "fig6b", "fig7", "fig8a", "fig8b",
 		"fig8c", "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15a", "fig15b", "fig15c",
-		"ablation_plb", "ablation_threshold", "ablation_oint", "ablation_prefill"}
+		"ablation_plb", "ablation_threshold", "ablation_oint", "ablation_prefill",
+		"ablation_shard", "bench0"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true

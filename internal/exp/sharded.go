@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+
+	"proram/internal/oram"
+	"proram/internal/shard"
+	"proram/internal/sim"
+	"proram/internal/trace"
+)
+
+// Sharded-frontend experiments: the partition-count ablation and the
+// pinned BENCH_0 baseline the ROADMAP's benchmark trajectory starts from.
+func init() {
+	register("ablation_shard", "Partitioned frontend: partition-count sweep vs unified (P=1)", ablationShard)
+	register("bench0", "BENCH_0 baseline: unified (P=1) vs sharded (P=8) frontend on the YCSB zipfian trace", bench0)
+}
+
+const (
+	// shardBlocks covers YCSB's 8 MB table at 128-byte blocks.
+	shardBlocks = 1 << 16
+	// shardWindow is the closed-loop client count: requests admitted per
+	// scheduling round.
+	shardWindow = 32
+	// bench0Ops / ablationShardOps are the full-scale operation counts.
+	bench0Ops        = 20_000
+	ablationShardOps = 8_000
+)
+
+// shardBase is the experiments' frontend configuration: dynamic PrORAM
+// prefetching inside every partition, total cache budget held constant
+// across partition counts so sweeps compare scheduling, not cache size.
+func shardBase(parts int, seed uint64) shard.Config {
+	o := oram.DefaultConfig()
+	o.Super = dynScheme()
+	return shard.Config{
+		Partitions:    parts,
+		Blocks:        shardBlocks,
+		BlockBytes:    128,
+		CacheBlocks:   4096,
+		MaxSuperBlock: o.Super.MaxSize,
+		Key:           []byte("proram-bench-key"),
+		Seed:          11 + seed,
+		ORAM:          o,
+	}
+}
+
+// ycsbGen builds the zipfian trace both experiments replay.
+func ycsbGen(ops, seed uint64) trace.Generator {
+	c := trace.DefaultYCSB(ops)
+	c.Seed += seed
+	return trace.NewYCSB(c)
+}
+
+// totalPaths sums the per-partition controllers' path accesses.
+func totalPaths(s shard.Stats) uint64 {
+	var t uint64
+	for _, p := range s.Partitions {
+		t += p.ORAM.PathAccesses
+	}
+	return t
+}
+
+// ablationShard sweeps the partition count on the YCSB trace. More
+// partitions shorten the makespan (rounds run P trees in parallel and
+// each tree is shallower) but burn more padding when the zipfian skew
+// leaves partitions idle — the fill ratio quantifies that trade.
+func ablationShard(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "ablation_shard",
+		Title:   "Sharded frontend vs partition count (YCSB zipfian, 32 closed-loop clients)",
+		Columns: []string{"norm_time", "fill_ratio", "cache_hit_rate", "norm_paths", "carryovers"},
+	}
+	ops := opt.scale(ablationShardOps)
+	var base sim.ShardedReport
+	for _, parts := range []int{1, 2, 4, 8} {
+		rep, _, err := sim.RunSharded(shardBase(parts, opt.Seed), ycsbGen(ops, opt.Seed), shardWindow)
+		if err != nil {
+			return nil, fmt.Errorf("ablation_shard P=%d: %w", parts, err)
+		}
+		if parts == 1 {
+			base = rep
+		}
+		t.AddRow(fmt.Sprintf("P=%d", parts),
+			float64(rep.Cycles)/float64(base.Cycles),
+			rep.Stats.FillRatio(),
+			float64(rep.CacheHits)/float64(rep.Ops),
+			float64(totalPaths(rep.Stats))/float64(totalPaths(base.Stats)),
+			float64(rep.Carryovers))
+	}
+	t.Notes = append(t.Notes,
+		"norm_time/norm_paths are relative to P=1 (the unified baseline on the same scheduler)",
+		"total client cache is constant across the sweep; only the partitioning changes")
+	return t, nil
+}
+
+// bench0 produces the first pinned benchmark baseline (BENCH_0.json):
+// unified vs sharded on the zipfian trace, deterministic integers only so
+// the committed artifact is byte-stable. Wall-clock time is deliberately
+// absent — proram-bench reports it on stderr.
+func bench0(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "bench0",
+		Title:   "BENCH_0: unified vs sharded frontend on YCSB zipfian",
+		Columns: []string{"ops", "cycles", "rounds", "real_accesses", "pad_accesses", "cache_hits", "carryovers", "fill_permille", "path_accesses"},
+	}
+	ops := opt.scale(bench0Ops)
+	for _, tc := range []struct {
+		label string
+		parts int
+	}{
+		{"unified_p1", 1},
+		{"sharded_p8", 8},
+	} {
+		rep, _, err := sim.RunSharded(shardBase(tc.parts, opt.Seed), ycsbGen(ops, opt.Seed), shardWindow)
+		if err != nil {
+			return nil, fmt.Errorf("bench0 %s: %w", tc.label, err)
+		}
+		if err := rep.Stats.Validate(); err != nil {
+			return nil, fmt.Errorf("bench0 %s: %w", tc.label, err)
+		}
+		t.AddRow(tc.label,
+			float64(rep.Ops),
+			float64(rep.Cycles),
+			float64(rep.Rounds),
+			float64(rep.RealAccesses),
+			float64(rep.PadAccesses),
+			float64(rep.CacheHits),
+			float64(rep.Carryovers),
+			float64(rep.FillPermille),
+			float64(totalPaths(rep.Stats)))
+	}
+	t.Notes = append(t.Notes,
+		"every cell is a deterministic integer: two runs with the same scale and seed are byte-identical",
+		"32 closed-loop clients; cycles is the slowest partition's simulated clock (makespan)")
+	return t, nil
+}

@@ -1,0 +1,26 @@
+package rng
+
+// Reader adapts a Source to io.Reader for components that consume
+// randomness as bytes (notably nonce generation in the sealer). It is as
+// deterministic as the Source underneath: the same seed yields the same
+// byte stream, which is what keeps sealed payloads reproducible across
+// runs. Read never fails.
+type Reader struct {
+	src *Source
+}
+
+// NewReader returns a deterministic byte stream seeded with seed.
+func NewReader(seed uint64) *Reader {
+	return &Reader{src: New(seed)}
+}
+
+// Read fills p from the generator, eight bytes per draw.
+func (r *Reader) Read(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		v := r.src.Uint64()
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,517 @@
+package shard
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"proram/internal/obs"
+	"proram/internal/oram"
+	"proram/internal/rng"
+	"proram/internal/seal"
+)
+
+// ErrClosed is returned for requests admitted after Close.
+var ErrClosed = errors.New("shard: frontend closed")
+
+// Config describes a sharded ORAM frontend. The public proram package
+// derives one from its own Config; tests construct it directly.
+type Config struct {
+	// Partitions is the number of independent Path ORAM shards (P).
+	Partitions int
+	// RoundSlots is the fixed ORAM access count every partition issues per
+	// scheduling round (R). Must be at least MaxSuperBlock+2 so one demand
+	// request — its access, its installs' dirty evictions — always fits.
+	RoundSlots int
+	// Groups sizes the routing indirection table; 0 picks a default.
+	Groups int
+	// Blocks is the global logical capacity; BlockBytes the block size.
+	Blocks     uint64
+	BlockBytes int
+	// CacheBlocks is the total client-side cache budget, split evenly
+	// across partitions (16 per partition minimum).
+	CacheBlocks int
+	// MaxSuperBlock bounds the per-partition prefetcher's super block size
+	// and with it the worst-case accesses one request can cost.
+	MaxSuperBlock int
+	// Key seals payloads at rest (16/24/32-byte AES key, required).
+	Key []byte
+	// Seed drives every random choice: routing hash, per-partition ORAM
+	// randomness, dummy-address draws, and sealing nonces.
+	Seed uint64
+	// ORAM is the per-partition controller template; NumBlocks, BlockBytes,
+	// Seed and RecordTrace are overridden per partition.
+	ORAM oram.Config
+	// RecordArrivals keeps the admission log needed to Replay a run.
+	RecordArrivals bool
+	// RecordAccesses keeps the canonical global access sequence (Log).
+	RecordAccesses bool
+	// Recorder, when non-nil, receives scheduler metrics. It must be
+	// dedicated to this frontend or otherwise only touched between rounds:
+	// all emissions happen on the dispatcher goroutine.
+	Recorder *obs.Recorder
+}
+
+// normalize fills defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if c.Partitions < 1 {
+		return c, fmt.Errorf("shard: Partitions %d must be >= 1", c.Partitions)
+	}
+	if c.Blocks < uint64(2*c.Partitions) {
+		return c, fmt.Errorf("shard: Blocks %d too small for %d partitions", c.Blocks, c.Partitions)
+	}
+	if c.BlockBytes <= 0 {
+		return c, fmt.Errorf("shard: BlockBytes %d must be positive", c.BlockBytes)
+	}
+	if c.MaxSuperBlock < 1 {
+		c.MaxSuperBlock = 1
+	}
+	maxCost := c.MaxSuperBlock + 1
+	if c.RoundSlots == 0 {
+		c.RoundSlots = 2 * maxCost
+	}
+	if c.RoundSlots < maxCost+1 {
+		return c, fmt.Errorf("shard: RoundSlots %d cannot fit one request (max cost %d) plus padding headroom",
+			c.RoundSlots, maxCost)
+	}
+	if c.CacheBlocks < 16*c.Partitions {
+		c.CacheBlocks = 16 * c.Partitions
+	}
+	if len(c.Key) == 0 {
+		return c, errors.New("shard: Key required (the public frontend derives one)")
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// Frontend is the partitioned ORAM: concurrent-safe Read/Write served by
+// per-partition worker goroutines under a single round-forming dispatcher.
+type Frontend struct {
+	cfg   Config
+	pmap  *PartitionMap
+	parts []*partition
+
+	// results is the shared round barrier: every worker reports here and
+	// the round driver collects exactly one result per partition.
+	results chan roundResult
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queues       [][]*request
+	pending      int
+	nextSeq      uint64
+	nextRound    uint64
+	arrivals     []Arrival
+	flushWaiters []chan error
+	closed       bool
+	snap         Stats
+	log          *Log
+
+	met    *metrics
+	manual bool // replay mode: the caller drives rounds, no dispatcher
+	done   chan struct{}
+}
+
+// New builds a frontend and starts its dispatcher and workers. Callers
+// must Close it to stop the goroutines.
+func New(cfg Config) (*Frontend, error) {
+	f, err := build(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	go f.dispatch()
+	return f, nil
+}
+
+// build assembles partitions and workers. With manual set, no dispatcher
+// runs and the caller drives rounds directly (replay mode).
+func build(cfg Config, manual bool) (*Frontend, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	pmap, err := NewPartitionMap(cfg.Partitions, cfg.Groups, mix(cfg.Seed, 0x726f757465))
+	if err != nil {
+		return nil, err
+	}
+	f := &Frontend{
+		cfg:     cfg,
+		pmap:    pmap,
+		parts:   make([]*partition, cfg.Partitions),
+		results: make(chan roundResult, cfg.Partitions),
+		queues:  make([][]*request, cfg.Partitions),
+		manual:  manual,
+		done:    make(chan struct{}),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	if cfg.RecordAccesses {
+		f.log = &Log{}
+	}
+	f.met = newMetrics(cfg.Recorder, cfg.Partitions)
+
+	p64 := uint64(cfg.Partitions)
+	// Headroom over the expected Blocks/P load: the keyed hash spreads
+	// groups, not blocks, so partitions see binomial load plus whole-group
+	// granularity. A 25% margin plus a constant floor keeps the overflow
+	// probability negligible at any practical scale.
+	localBlocks := cfg.Blocks/p64 + cfg.Blocks/(4*p64) + 64
+	cacheBlocks := cfg.CacheBlocks / cfg.Partitions
+	if cacheBlocks < 16 {
+		cacheBlocks = 16
+	}
+	for i := range f.parts {
+		seedP := mix(cfg.Seed, 0x70617274<<8|uint64(i))
+		ocfg := cfg.ORAM
+		ocfg.NumBlocks = localBlocks
+		ocfg.BlockBytes = cfg.BlockBytes
+		ocfg.Seed = mix(seedP, 1)
+		ocfg.RecordTrace = cfg.RecordAccesses
+		ctrl, err := oram.New(ocfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard: partition %d: %w", i, err)
+		}
+		sealer, err := seal.New(cfg.Key, rng.NewReader(mix(seedP, 2)))
+		if err != nil {
+			return nil, fmt.Errorf("shard: partition %d: %w", i, err)
+		}
+		p := &partition{
+			id:          i,
+			localBlocks: localBlocks,
+			cacheBlocks: cacheBlocks,
+			roundSlots:  cfg.RoundSlots,
+			maxCost:     cfg.MaxSuperBlock + 1,
+			record:      cfg.RecordAccesses,
+			store:       NewStore(ctrl, sealer, cfg.BlockBytes),
+			dummyRnd:    rng.New(mix(seedP, 3)),
+			local:       make(map[uint64]uint64),
+			cache:       make(map[uint64]*list.Element),
+			lru:         list.New(),
+			work:        make(chan roundWork),
+			results:     f.results,
+		}
+		ctrl.SetProber(p)
+		f.parts[i] = p
+		go p.run()
+	}
+	return f, nil
+}
+
+// Read returns a copy of the block's contents. Safe for concurrent use.
+func (f *Frontend) Read(index uint64) ([]byte, error) {
+	ch, err := f.enqueue(index, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := <-ch
+	return r.data, r.err
+}
+
+// Write stores data (zero-padded to a full block). Safe for concurrent use.
+func (f *Frontend) Write(index uint64, data []byte) error {
+	ch, err := f.enqueue(index, true, data)
+	if err != nil {
+		return err
+	}
+	return (<-ch).err
+}
+
+// enqueue admits one request: sequence number, arrival record, and the
+// routed partition queue, all under one lock so the admission order is a
+// total order the replay can reproduce.
+func (f *Frontend) enqueue(index uint64, write bool, data []byte) (chan response, error) {
+	if index >= f.cfg.Blocks {
+		return nil, fmt.Errorf("shard: index %d out of range (%d blocks)", index, f.cfg.Blocks)
+	}
+	if write && len(data) > f.cfg.BlockBytes {
+		return nil, fmt.Errorf("shard: write of %d bytes exceeds block size %d", len(data), f.cfg.BlockBytes)
+	}
+	part := f.pmap.Lookup(index)
+	req := &request{index: index, write: write, resp: make(chan response, 1)}
+	if write {
+		req.data = append([]byte(nil), data...)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	req.seq = f.nextSeq
+	f.nextSeq++
+	if f.cfg.RecordArrivals {
+		f.arrivals = append(f.arrivals, Arrival{Seq: req.seq, Index: index, Write: write, Round: f.nextRound})
+	}
+	f.queues[part] = append(f.queues[part], req)
+	f.pending++
+	f.cond.Signal()
+	f.mu.Unlock()
+	return req.resp, nil
+}
+
+// Flush writes every dirty cached block back through the ORAMs, padded so
+// all partitions perform the same number of accesses. It waits for the
+// queues to drain first, so it only terminates once admission pauses.
+func (f *Frontend) Flush() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if f.manual {
+		f.mu.Unlock()
+		return errors.New("shard: Flush unavailable in replay mode")
+	}
+	ch := make(chan error, 1)
+	f.flushWaiters = append(f.flushWaiters, ch)
+	f.cond.Signal()
+	f.mu.Unlock()
+	return <-ch
+}
+
+// Close drains queued requests, answers pending flushes, and stops the
+// dispatcher and workers. Requests admitted after Close fail with
+// ErrClosed. Safe to call once.
+func (f *Frontend) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		<-f.done
+		return nil
+	}
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	<-f.done
+	return nil
+}
+
+// Stats returns the dispatcher's post-round snapshot. Safe for concurrent
+// use; it never touches live worker state.
+func (f *Frontend) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snap.clone()
+}
+
+// Arrivals returns a copy of the recorded admission log.
+func (f *Frontend) Arrivals() []Arrival {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Arrival(nil), f.arrivals...)
+}
+
+// Recorder returns the frontend's obs recorder (nil when none was
+// configured); callers use it to finalize metrics and trace outputs.
+func (f *Frontend) Recorder() *obs.Recorder {
+	return f.cfg.Recorder
+}
+
+// AccessLog returns the recorded global access sequence. Call it after
+// Close (or between rounds); the returned log is the live one, not a copy.
+func (f *Frontend) AccessLog() *Log {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.log
+}
+
+// dispatch is the round-forming loop: snapshot the queues into a round
+// whenever work is pending, run flushes when asked, exit when closed and
+// drained.
+func (f *Frontend) dispatch() {
+	defer close(f.done)
+	for {
+		f.mu.Lock()
+		for !f.closed && f.pending == 0 && len(f.flushWaiters) == 0 {
+			f.cond.Wait()
+		}
+		if f.pending > 0 {
+			round, take := f.snapshotLocked()
+			f.mu.Unlock()
+			f.runRound(round, take)
+			continue
+		}
+		waiters := f.flushWaiters
+		f.flushWaiters = nil
+		closed := f.closed
+		f.mu.Unlock()
+		if len(waiters) > 0 {
+			err := f.runFlush()
+			for _, ch := range waiters {
+				ch <- err
+			}
+			continue
+		}
+		if closed {
+			f.stopWorkers()
+			return
+		}
+	}
+}
+
+// snapshotLocked claims the next round number and takes every queued
+// request. Arrivals admitted from here on are tagged with the next round.
+func (f *Frontend) snapshotLocked() (uint64, [][]*request) {
+	round := f.nextRound
+	f.nextRound++
+	take := make([][]*request, len(f.parts))
+	for i := range f.queues {
+		take[i] = f.queues[i]
+		f.queues[i] = nil
+	}
+	f.pending = 0
+	return round, take
+}
+
+// clockFloor returns the maximum partition clock: the round barrier's
+// synchronization point. Safe between rounds only.
+func (f *Frontend) clockFloor() uint64 {
+	var floor uint64
+	for _, p := range f.parts {
+		if p.store.Now > floor {
+			floor = p.store.Now
+		}
+	}
+	return floor
+}
+
+// runRound executes one demand round on every partition and commits the
+// results. Called with no round in flight (dispatcher or replay driver).
+func (f *Frontend) runRound(round uint64, take [][]*request) {
+	floor := f.clockFloor()
+	for i, p := range f.parts {
+		p.work <- roundWork{kind: roundDemand, round: round, start: floor, reqs: take[i]}
+	}
+	byPart := f.collect()
+	f.commit(round, roundDemand, byPart)
+}
+
+// runFlush executes one flush round: every partition writes its dirty
+// lines back, then a pad sub-round equalizes the access counts so the
+// flush's observable length is the cross-partition maximum for all.
+func (f *Frontend) runFlush() error {
+	f.mu.Lock()
+	round := f.nextRound
+	f.nextRound++
+	f.mu.Unlock()
+	floor := f.clockFloor()
+	for _, p := range f.parts {
+		p.work <- roundWork{kind: roundFlush, round: round, start: floor}
+	}
+	flushed := f.collect()
+	f.commit(round, roundFlush, flushed)
+	longest := 0
+	failures := 0
+	for _, r := range flushed {
+		if r.real > longest {
+			longest = r.real
+		}
+		failures += r.errors
+	}
+	floor = f.clockFloor()
+	for i, p := range f.parts {
+		p.work <- roundWork{kind: roundPad, round: round, start: floor, padTo: longest - flushed[i].real}
+	}
+	f.commit(round, roundPad, f.collect())
+	if failures > 0 {
+		return fmt.Errorf("shard: flush failed to write back %d blocks", failures)
+	}
+	return nil
+}
+
+// collect gathers one result per partition from the shared barrier
+// channel, in partition order regardless of completion order.
+func (f *Frontend) collect() []roundResult {
+	byPart := make([]roundResult, len(f.parts))
+	for range f.parts {
+		r := <-f.results
+		byPart[r.part] = r
+	}
+	return byPart
+}
+
+// commit publishes a completed round: access-log records in (round,
+// partition) order, leftover requeueing, the stats snapshot, and obs
+// emissions. Runs on the round driver with all workers idle, which is
+// what makes the worker-state reads race-free.
+func (f *Frontend) commit(round uint64, kind roundKind, byPart []roundResult) {
+	f.mu.Lock()
+	leftovers := 0
+	for i, r := range byPart {
+		if len(r.leftovers) > 0 {
+			f.queues[i] = append(append([]*request(nil), r.leftovers...), f.queues[i]...)
+			f.pending += len(r.leftovers)
+			leftovers += len(r.leftovers)
+		}
+	}
+	if f.log != nil {
+		for _, r := range byPart {
+			f.log.Shapes = append(f.log.Shapes, RoundShape{
+				Round: round, Part: r.part, Kind: uint8(kind),
+				Real: r.real, Dummy: r.dummy,
+			})
+			for _, ev := range r.trace {
+				f.log.Paths = append(f.log.Paths, PathRec{
+					Round: round, Part: r.part,
+					Leaf: uint64(ev.Leaf), Start: ev.Start, Kind: uint8(ev.Kind),
+				})
+			}
+		}
+	}
+	f.snap = f.computeStats(kind, leftovers)
+	pending := f.pending
+	f.mu.Unlock()
+	f.met.onRound(f, kind, byPart, leftovers, pending)
+}
+
+// computeStats rebuilds the stats snapshot from worker state. Callers
+// hold mu and run at the round barrier.
+func (f *Frontend) computeStats(kind roundKind, leftovers int) Stats {
+	s := f.snap
+	switch kind {
+	case roundDemand:
+		s.Rounds++
+	case roundFlush:
+		s.FlushRounds++
+	}
+	s.Carryovers += uint64(leftovers)
+	s.RoundSlots = f.cfg.RoundSlots
+	s.Reads, s.Writes, s.CacheHits = 0, 0, 0
+	s.RealAccesses, s.DummyAccesses = 0, 0
+	s.FlushAccesses, s.FlushPad = 0, 0
+	s.RequestErrors = 0
+	s.Cycles = 0
+	s.Partitions = make([]PartitionStats, len(f.parts))
+	for i, p := range f.parts {
+		ps := PartitionStats{
+			Reads: p.reads, Writes: p.writes, CacheHits: p.cacheHits,
+			RealAccesses: p.realAccesses, DummyAccesses: p.dummyAccesses,
+			FlushAccesses: p.flushAccesses, FlushPad: p.flushPad,
+			RequestErrors: p.requestErrors,
+			LocalBlocks:   p.nextLocal,
+			StashSize:     p.store.Ctrl.StashSize(),
+			ORAM:          p.store.Ctrl.Stats(),
+		}
+		s.Partitions[i] = ps
+		s.Reads += ps.Reads
+		s.Writes += ps.Writes
+		s.CacheHits += ps.CacheHits
+		s.RealAccesses += ps.RealAccesses
+		s.DummyAccesses += ps.DummyAccesses
+		s.FlushAccesses += ps.FlushAccesses
+		s.FlushPad += ps.FlushPad
+		s.RequestErrors += ps.RequestErrors
+		if p.store.Now > s.Cycles {
+			s.Cycles = p.store.Now
+		}
+	}
+	return s
+}
+
+// stopWorkers closes the work channels and lets the workers exit.
+func (f *Frontend) stopWorkers() {
+	for _, p := range f.parts {
+		close(p.work)
+	}
+}

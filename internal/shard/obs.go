@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"fmt"
+
+	"proram/internal/obs"
+)
+
+// metrics is the frontend's observability wiring. Every emission happens
+// on the round driver (dispatcher or replay loop) at a round barrier —
+// obs.Recorder is not concurrent-safe, and this is the one place worker
+// state is quiescent.
+type metrics struct {
+	rec        *obs.Recorder
+	rounds     *obs.Counter
+	flushes    *obs.Counter
+	demand     *obs.Counter
+	dummy      *obs.Counter
+	hits       *obs.Counter
+	served     *obs.Counter
+	carryovers *obs.Counter
+	fill       *obs.Histogram // per-(round, partition) fill, percent
+	queueDepth *obs.Gauge     // high-water pending requests at a barrier
+	stash      []*obs.Gauge   // per-partition stash occupancy high-water
+}
+
+// newMetrics registers the scheduler's metrics; nil recorder, nil metrics
+// (every method is then a no-op).
+func newMetrics(rec *obs.Recorder, parts int) *metrics {
+	if !rec.Enabled() {
+		return nil
+	}
+	m := &metrics{
+		rec:        rec,
+		rounds:     rec.Counter("shard.rounds"),
+		flushes:    rec.Counter("shard.flush_rounds"),
+		demand:     rec.Counter("shard.demand_accesses"),
+		dummy:      rec.Counter("shard.dummy_accesses"),
+		hits:       rec.Counter("shard.cache_hits"),
+		served:     rec.Counter("shard.requests_served"),
+		carryovers: rec.Counter("shard.carryovers"),
+		fill:       rec.Histogram("shard.round_fill_pct", []float64{0, 10, 25, 50, 75, 90, 100}),
+		queueDepth: rec.Gauge("shard.queue_depth"),
+		stash:      make([]*obs.Gauge, parts),
+	}
+	for i := range m.stash {
+		m.stash[i] = rec.Gauge(fmt.Sprintf("shard.p%d.stash_occupancy", i))
+	}
+	return m
+}
+
+// onRound records one completed round (of any kind) from the barrier.
+func (m *metrics) onRound(f *Frontend, kind roundKind, byPart []roundResult, leftovers, pending int) {
+	if m == nil {
+		return
+	}
+	switch kind {
+	case roundDemand:
+		m.rounds.Inc()
+	case roundFlush:
+		m.flushes.Inc()
+	}
+	for _, r := range byPart {
+		m.demand.Add(uint64(r.real))
+		m.dummy.Add(uint64(r.dummy))
+		m.hits.Add(uint64(r.hits))
+		m.served.Add(uint64(r.served))
+		if kind == roundDemand {
+			m.fill.Observe(100 * float64(r.real) / float64(f.cfg.RoundSlots))
+		}
+	}
+	m.carryovers.Add(uint64(leftovers))
+	m.queueDepth.Max(float64(pending))
+	for i, p := range f.parts {
+		m.stash[i].Max(float64(p.store.Ctrl.StashSize()))
+	}
+	m.rec.MaybeSample(f.clockFloor())
+}

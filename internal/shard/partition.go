@@ -1,0 +1,365 @@
+package shard
+
+import (
+	"container/list"
+	"fmt"
+
+	"proram/internal/oram"
+	"proram/internal/rng"
+)
+
+// request is one client operation routed to a partition. The payload is
+// copied at admission, so workers never share buffers with clients.
+type request struct {
+	seq   uint64
+	index uint64 // global block index
+	write bool
+	data  []byte // write payload (admission-owned copy)
+	resp  chan response
+}
+
+// response answers one request. Data is a fresh copy for reads.
+type response struct {
+	data []byte
+	err  error
+}
+
+// roundKind distinguishes the scheduler's round types.
+type roundKind uint8
+
+const (
+	// roundDemand is a regular scheduling round: exactly roundSlots
+	// accesses per partition (demand + dummy padding).
+	roundDemand roundKind = iota
+	// roundFlush writes every dirty cached line back (variable count,
+	// reported to the dispatcher for the equalizing pad round).
+	roundFlush
+	// roundPad appends work.padTo dummies to a flush round so every
+	// partition's flush has the same observable length.
+	roundPad
+)
+
+// roundWork is one round's instruction to a partition worker.
+type roundWork struct {
+	kind  roundKind
+	round uint64
+	start uint64 // clock floor: the worker raises its store clock to this
+	reqs  []*request
+	padTo int // roundPad: dummy accesses to issue
+}
+
+// roundResult is what a worker reports back at the round barrier.
+type roundResult struct {
+	part      int
+	round     uint64
+	leftovers []*request // unserved requests, original arrival order
+	real      int        // demand accesses issued this round
+	dummy     int        // dummy accesses issued this round
+	hits      int        // requests served from the partition cache
+	served    int        // requests answered (hits + demand-served + errored)
+	errors    int        // requests answered with an error
+	trace     []oram.TraceEvent
+}
+
+// cacheLine is one plaintext block in a partition's client-side cache
+// (the per-partition LLC stand-in the prefetcher feeds).
+type cacheLine struct {
+	local      uint64
+	data       []byte
+	dirty      bool
+	prefetched bool
+	used       bool
+}
+
+// partition is one independent Path ORAM shard plus its worker state.
+// Everything below is owned by the worker goroutine while a round is in
+// flight; the dispatcher may read counters and the store clock only
+// between rounds (the round barrier's channel operations order the
+// accesses).
+type partition struct {
+	id          int
+	localBlocks uint64
+	cacheBlocks int
+	roundSlots  int
+	maxCost     int // conservative accesses per demand request
+	record      bool
+
+	store    *Store
+	dummyRnd *rng.Source
+
+	// local maps global block index -> dense local slot, assigned in
+	// first-touch order. Only ever indexed, never iterated.
+	local     map[uint64]uint64
+	nextLocal uint64
+
+	cache map[uint64]*list.Element // local index -> cacheLine element
+	lru   *list.List
+
+	lastTraceLen int
+
+	// Cumulative counters (see stats.go for the identities they obey).
+	reads, writes  uint64
+	cacheHits      uint64
+	realAccesses   uint64 // demand-round ORAM accesses
+	dummyAccesses  uint64 // demand-round padding accesses
+	flushAccesses  uint64 // flush-round write-backs
+	flushPad       uint64 // flush-round padding accesses
+	requestErrors  uint64
+	servedRequests uint64
+
+	work    chan roundWork
+	results chan<- roundResult
+}
+
+// Present implements oram.CacheProber over the partition cache, letting
+// the per-partition merge algorithm probe for co-resident blocks.
+//
+//proram:hotpath probed once per super-block candidate on every dynamic merge
+func (p *partition) Present(local uint64) bool {
+	_, ok := p.cache[local]
+	return ok
+}
+
+// run is the worker goroutine: one round in, one result out, until the
+// work channel closes.
+func (p *partition) run() {
+	for w := range p.work {
+		p.results <- p.execRound(w)
+	}
+}
+
+// execRound performs one round of the given kind.
+func (p *partition) execRound(w roundWork) roundResult {
+	if w.start > p.store.Now {
+		p.store.Now = w.start
+	}
+	res := roundResult{part: p.id, round: w.round}
+	switch w.kind {
+	case roundDemand:
+		p.demandRound(w, &res)
+	case roundFlush:
+		p.flushRound(&res)
+	case roundPad:
+		p.padRound(w, &res)
+	}
+	if p.record {
+		tr := p.store.Ctrl.Trace()
+		res.trace = append([]oram.TraceEvent(nil), tr[p.lastTraceLen:]...)
+		p.lastTraceLen = len(tr)
+	}
+	return res
+}
+
+// demandRound serves queued requests and pads to exactly roundSlots ORAM
+// accesses. Cache hits serve for free (on-chip work is invisible), each
+// miss costs one demand access plus any dirty evictions its installs
+// force, and dummies fill whatever budget remains. Requests that do not
+// fit the budget carry over.
+func (p *partition) demandRound(w roundWork, res *roundResult) {
+	budget := p.roundSlots
+	for _, req := range w.reqs {
+		local, err := p.localSlot(req.index)
+		if err != nil {
+			p.answer(req, response{err: err}, res)
+			res.errors++
+			p.requestErrors++
+			continue
+		}
+		if e, ok := p.cache[local]; ok {
+			p.serveCached(req, e, res)
+			continue
+		}
+		if budget < p.maxCost {
+			res.leftovers = append(res.leftovers, req)
+			continue
+		}
+		budget -= p.demandAccess(req, local, res)
+	}
+	for budget > 0 {
+		p.dummyAccess()
+		res.dummy++
+		p.dummyAccesses++
+		budget--
+	}
+	if got := res.real + res.dummy; got != p.roundSlots {
+		//proram:invariant the fixed per-round access count is the scheduler's obliviousness contract; missing it is a budget-accounting bug
+		panic(fmt.Sprintf("shard: partition %d issued %d accesses in round %d, contract is %d",
+			p.id, got, w.round, p.roundSlots))
+	}
+}
+
+// serveCached answers a request from the cache: no ORAM access. This is
+// also how duplicate requests within a round coalesce — the first miss
+// installs the line, the rest hit it.
+func (p *partition) serveCached(req *request, e *list.Element, res *roundResult) {
+	p.cacheHits++
+	res.hits++
+	p.lru.MoveToFront(e)
+	line := e.Value.(*cacheLine)
+	if line.prefetched && !line.used {
+		line.used = true
+		p.store.Ctrl.NotifyPrefetchUse(line.local)
+	}
+	p.finish(req, line, res)
+}
+
+// demandAccess misses into the ORAM: one full recursive access for the
+// demand block, installs for it and its prefetched siblings, and a
+// write-back access per dirty line those installs evict. Returns the
+// number of ORAM accesses consumed.
+func (p *partition) demandAccess(req *request, local uint64, res *roundResult) int {
+	cost := 1
+	r := p.store.DemandRead(local)
+	res.real++
+	p.realAccesses++
+	line, evicted, err := p.install(local, false)
+	cost += evicted
+	res.real += evicted
+	p.realAccesses += uint64(evicted)
+	if err != nil {
+		p.answer(req, response{err: err}, res)
+		res.errors++
+		p.requestErrors++
+		return cost
+	}
+	for _, pf := range r.Prefetched {
+		if _, ok := p.cache[pf]; ok {
+			continue
+		}
+		_, ev, err := p.install(pf, true)
+		cost += ev
+		res.real += ev
+		p.realAccesses += uint64(ev)
+		if err != nil {
+			// The demand request already has its line; a corrupt prefetch
+			// sibling only loses the prefetch.
+			continue
+		}
+	}
+	p.finish(req, line, res)
+	return cost
+}
+
+// finish applies the request to its cached line and answers it.
+func (p *partition) finish(req *request, line *cacheLine, res *roundResult) {
+	if req.write {
+		p.writes++
+		for i := range line.data {
+			line.data[i] = 0
+		}
+		copy(line.data, req.data)
+		line.dirty = true
+		p.answer(req, response{}, res)
+		return
+	}
+	p.reads++
+	out := make([]byte, len(line.data))
+	copy(out, line.data)
+	p.answer(req, response{data: out}, res)
+}
+
+// answer replies to a request (the response channel is buffered, so the
+// worker never blocks on a slow client).
+func (p *partition) answer(req *request, resp response, res *roundResult) {
+	res.served++
+	p.servedRequests++
+	req.resp <- resp
+}
+
+// install decrypts a block into the cache and evicts past capacity,
+// returning the line and how many ORAM write-back accesses the evictions
+// cost.
+func (p *partition) install(local uint64, prefetched bool) (*cacheLine, int, error) {
+	data, err := p.store.Load(local)
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: partition %d: %w", p.id, err)
+	}
+	line := &cacheLine{local: local, data: data, prefetched: prefetched}
+	p.cache[local] = p.lru.PushFront(line)
+	evicted := 0
+	for p.lru.Len() > p.cacheBlocks {
+		n, err := p.evictLRU()
+		evicted += n
+		if err != nil {
+			return nil, evicted, err
+		}
+	}
+	return line, evicted, nil
+}
+
+// evictLRU drops the least-recently-used line, writing it back through
+// the shared Store helper when dirty. Returns the ORAM accesses spent
+// (0 for a clean victim, 1 for a dirty one).
+func (p *partition) evictLRU() (int, error) {
+	back := p.lru.Back()
+	line := back.Value.(*cacheLine)
+	p.lru.Remove(back)
+	delete(p.cache, line.local)
+	if line.prefetched && !line.used {
+		p.store.Ctrl.NotifyPrefetchEvict(line.local)
+	}
+	if !line.dirty {
+		return 0, nil
+	}
+	if err := p.store.WriteBack(line.local, line.data); err != nil {
+		return 1, err
+	}
+	return 1, nil
+}
+
+// dummyAccess performs one padding access: a full recursive read of a
+// uniformly random local block, indistinguishable on the wire from a
+// demand access. The result is discarded — nothing enters the cache, so
+// padding never perturbs the prefetcher's locality signal.
+//
+//proram:hotpath fills every unused slot of every round on every partition
+func (p *partition) dummyAccess() {
+	p.store.DemandRead(p.dummyRnd.Uint64n(p.localBlocks))
+}
+
+// flushRound writes every dirty cached line back (front-to-back, a
+// deterministic order), counting the accesses so the dispatcher can pad
+// all partitions to the same flush length.
+func (p *partition) flushRound(res *roundResult) {
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		line := e.Value.(*cacheLine)
+		if !line.dirty {
+			continue
+		}
+		if err := p.store.WriteBack(line.local, line.data); err != nil {
+			res.errors++
+			p.requestErrors++
+			continue
+		}
+		line.dirty = false
+		res.real++
+		p.flushAccesses++
+	}
+}
+
+// padRound equalizes a flush round: padTo additional dummy accesses.
+func (p *partition) padRound(w roundWork, res *roundResult) {
+	for i := 0; i < w.padTo; i++ {
+		p.dummyAccess()
+		res.dummy++
+		p.flushPad++
+	}
+}
+
+// localSlot returns the partition-local slot of a global block index,
+// assigning the next dense slot on first touch. First-touch order makes
+// temporally adjacent blocks spatially adjacent in local space, which is
+// the locality the per-partition super block scheme detects.
+func (p *partition) localSlot(global uint64) (uint64, error) {
+	if l, ok := p.local[global]; ok {
+		return l, nil
+	}
+	if p.nextLocal >= p.localBlocks {
+		return 0, fmt.Errorf("shard: partition %d full (%d local blocks); the keyed hash overfilled it — raise Blocks headroom or partitions",
+			p.id, p.localBlocks)
+	}
+	l := p.nextLocal
+	p.nextLocal++
+	p.local[global] = l
+	return l, nil
+}

@@ -1,0 +1,79 @@
+package shard
+
+import "testing"
+
+func TestPartitionMapDeterministicAndInRange(t *testing.T) {
+	m, err := NewPartitionMap(8, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Groups() < 64 || m.Groups()&(m.Groups()-1) != 0 {
+		t.Fatalf("groups = %d, want a power of two >= 64", m.Groups())
+	}
+	m2, _ := NewPartitionMap(8, 0, 42)
+	for i := uint64(0); i < 4096; i++ {
+		p := m.Lookup(i)
+		if p < 0 || p >= 8 {
+			t.Fatalf("Lookup(%d) = %d out of range", i, p)
+		}
+		if p2 := m2.Lookup(i); p2 != p {
+			t.Fatalf("Lookup(%d) differs across identically seeded maps: %d vs %d", i, p, p2)
+		}
+	}
+}
+
+func TestPartitionMapSpread(t *testing.T) {
+	const parts, n = 8, 1 << 14
+	m, err := NewPartitionMap(parts, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [parts]int
+	for i := uint64(0); i < n; i++ {
+		counts[m.Lookup(i)]++
+	}
+	// The round-robin group assignment plus a mixing hash keeps the load
+	// well inside the 25% headroom the frontend provisions per partition.
+	limit := n / parts * 5 / 4
+	for p, c := range counts {
+		if c == 0 {
+			t.Fatalf("partition %d received no blocks", p)
+		}
+		if c > limit {
+			t.Fatalf("partition %d received %d of %d blocks, over the %d headroom", p, c, n, limit)
+		}
+	}
+}
+
+func TestPartitionMapRehome(t *testing.T) {
+	m, err := NewPartitionMap(4, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a block, move its group, and watch routing follow the table.
+	idx := uint64(12345)
+	g := m.Group(idx)
+	was := m.Lookup(idx)
+	next := (was + 1) % m.Partitions()
+	if err := m.Rehome(g, next); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lookup(idx); got != next {
+		t.Fatalf("after Rehome, Lookup = %d, want %d", got, next)
+	}
+	if err := m.Rehome(-1, 0); err == nil {
+		t.Fatal("Rehome accepted an out-of-range group")
+	}
+	if err := m.Rehome(0, 99); err == nil {
+		t.Fatal("Rehome accepted an out-of-range partition")
+	}
+}
+
+func TestNewPartitionMapRejectsBadShapes(t *testing.T) {
+	if _, err := NewPartitionMap(0, 0, 1); err == nil {
+		t.Fatal("accepted zero partitions")
+	}
+	if _, err := NewPartitionMap(128, 16, 1); err == nil {
+		t.Fatal("accepted fewer groups than partitions")
+	}
+}

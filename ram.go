@@ -7,6 +7,7 @@ import (
 
 	"proram/internal/oram"
 	"proram/internal/seal"
+	"proram/internal/shard"
 )
 
 // RAM is an oblivious RAM: a block store whose physical access pattern
@@ -15,21 +16,20 @@ import (
 // the access pattern is produced by a full Unified Path ORAM controller
 // with the configured PrORAM prefetching scheme.
 //
-// RAM is not safe for concurrent use; callers serialize access (as the
-// single ORAM controller in the paper's hardware does).
+// RAM is not safe for concurrent use: it models the paper's single ORAM
+// controller, whose state machine admits one access at a time, so callers
+// serialize. For concurrent clients use NewSharded, which partitions the
+// address space across independent controllers and schedules requests in
+// padded rounds — concurrency there is safe because each partition's
+// state is confined to one worker goroutine and the cross-partition
+// access pattern is fixed per round regardless of the request mix.
 type RAM struct {
-	cfg    Config
-	ctrl   *oram.Controller
-	sealer *seal.Sealer
-
-	// sealed is the "untrusted storage" for payloads, keyed by block index.
-	// Absent entries read as zero blocks.
-	sealed map[uint64][]byte
+	cfg   Config
+	store *shard.Store
 
 	// cache is the client-side plaintext block cache (the LLC stand-in).
 	cache     map[uint64]*list.Element
 	lru       *list.List
-	now       uint64
 	reads     uint64
 	writes    uint64
 	cacheHits uint64
@@ -49,28 +49,32 @@ func New(cfg Config) (*RAM, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctrl, err := oram.New(cfg.oramConfig())
-	if err != nil {
-		return nil, err
-	}
-	key := cfg.Key
-	if key == nil {
-		key = deriveKey(cfg.Seed)
-	}
-	sealer, err := seal.New(key, newNonceSource(cfg.Seed^0x5eed))
+	store, err := newStore(cfg)
 	if err != nil {
 		return nil, err
 	}
 	r := &RAM{
-		cfg:    cfg,
-		ctrl:   ctrl,
-		sealer: sealer,
-		sealed: make(map[uint64][]byte),
-		cache:  make(map[uint64]*list.Element),
-		lru:    list.New(),
+		cfg:   cfg,
+		store: store,
+		cache: make(map[uint64]*list.Element),
+		lru:   list.New(),
 	}
-	ctrl.SetProber(ramProber{r})
+	store.Ctrl.SetProber(ramProber{r})
 	return r, nil
+}
+
+// newStore assembles the controller + sealer + payload storage bundle the
+// unified RAM shares with the sharded frontend's partitions.
+func newStore(cfg Config) (*shard.Store, error) {
+	ctrl, err := oram.New(cfg.oramConfig())
+	if err != nil {
+		return nil, err
+	}
+	sealer, err := seal.New(cfg.sealKey(), cfg.nonceSource())
+	if err != nil {
+		return nil, err
+	}
+	return shard.NewStore(ctrl, sealer, cfg.BlockBytes), nil
 }
 
 // ramProber lets the controller's merge algorithm see the client cache.
@@ -89,7 +93,7 @@ func (r *RAM) BlockBytes() int { return r.cfg.BlockBytes }
 
 // Stats returns usage statistics.
 func (r *RAM) Stats() Stats {
-	return statsFrom(r.ctrl.Stats(), r.reads, r.writes, r.cacheHits)
+	return statsFrom(r.store.Ctrl.Stats(), r.reads, r.writes, r.cacheHits)
 }
 
 // Read returns a copy of the block at index.
@@ -138,12 +142,11 @@ func (r *RAM) fetch(index uint64) (*cacheLine, error) {
 		line := e.Value.(*cacheLine)
 		if line.prefetched && !line.used {
 			line.used = true
-			r.ctrl.NotifyPrefetchUse(index)
+			r.store.Ctrl.NotifyPrefetchUse(index)
 		}
 		return line, nil
 	}
-	res := r.ctrl.Read(r.now, index)
-	r.now = res.Done
+	res := r.store.DemandRead(index)
 	line, err := r.install(index, false)
 	if err != nil {
 		return nil, err
@@ -161,13 +164,9 @@ func (r *RAM) fetch(index uint64) (*cacheLine, error) {
 
 // install decrypts a block into the cache, evicting as needed.
 func (r *RAM) install(index uint64, prefetched bool) (*cacheLine, error) {
-	data := make([]byte, r.cfg.BlockBytes)
-	if sealed, ok := r.sealed[index]; ok {
-		plain, err := r.sealer.Open(data[:0], sealed)
-		if err != nil {
-			return nil, fmt.Errorf("proram: block %d corrupt: %w", index, err)
-		}
-		data = plain
+	data, err := r.store.Load(index)
+	if err != nil {
+		return nil, fmt.Errorf("proram: %w", err)
 	}
 	line := &cacheLine{index: index, data: data, prefetched: prefetched}
 	r.cache[index] = r.lru.PushFront(line)
@@ -186,19 +185,12 @@ func (r *RAM) evictLRU() error {
 	r.lru.Remove(back)
 	delete(r.cache, line.index)
 	if line.prefetched && !line.used {
-		r.ctrl.NotifyPrefetchEvict(line.index)
+		r.store.Ctrl.NotifyPrefetchEvict(line.index)
 	}
 	if !line.dirty {
 		return nil
 	}
-	sealed, err := r.sealer.Seal(nil, line.data)
-	if err != nil {
-		return err
-	}
-	r.sealed[line.index] = sealed
-	res := r.ctrl.Write(r.now, line.index)
-	r.now = res.Done
-	return nil
+	return r.store.WriteBack(line.index, line.data)
 }
 
 // Flush writes every dirty cached block back to the ORAM. The cache stays
@@ -209,13 +201,9 @@ func (r *RAM) Flush() error {
 		if !line.dirty {
 			continue
 		}
-		sealed, err := r.sealer.Seal(nil, line.data)
-		if err != nil {
+		if err := r.store.WriteBack(line.index, line.data); err != nil {
 			return err
 		}
-		r.sealed[line.index] = sealed
-		res := r.ctrl.Write(r.now, line.index)
-		r.now = res.Done
 		line.dirty = false
 	}
 	return nil
@@ -223,50 +211,12 @@ func (r *RAM) Flush() error {
 
 // ReadAt implements random byte-granular reads across block boundaries.
 func (r *RAM) ReadAt(p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, fmt.Errorf("proram: negative offset")
-	}
-	bb := int64(r.cfg.BlockBytes)
-	n := 0
-	for n < len(p) {
-		block := uint64((off + int64(n)) / bb)
-		inner := (off + int64(n)) % bb
-		if block >= r.cfg.Blocks {
-			return n, fmt.Errorf("proram: offset %d beyond capacity", off+int64(n))
-		}
-		data, err := r.Read(block)
-		if err != nil {
-			return n, err
-		}
-		n += copy(p[n:], data[inner:])
-	}
-	return n, nil
+	return readAt(r, r.cfg, p, off)
 }
 
 // WriteAt implements random byte-granular writes across block boundaries.
 func (r *RAM) WriteAt(p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, fmt.Errorf("proram: negative offset")
-	}
-	bb := int64(r.cfg.BlockBytes)
-	n := 0
-	for n < len(p) {
-		block := uint64((off + int64(n)) / bb)
-		inner := (off + int64(n)) % bb
-		if block >= r.cfg.Blocks {
-			return n, fmt.Errorf("proram: offset %d beyond capacity", off+int64(n))
-		}
-		data, err := r.Read(block)
-		if err != nil {
-			return n, err
-		}
-		c := copy(data[inner:], p[n:])
-		if err := r.Write(block, data); err != nil {
-			return n, err
-		}
-		n += c
-	}
-	return n, nil
+	return writeAt(r, r.cfg, p, off)
 }
 
 // deriveKey expands a seed into a deterministic 16-byte AES key (used when
