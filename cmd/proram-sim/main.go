@@ -39,6 +39,7 @@ func main() {
 		oint     = flag.Uint64("oint", 0, "periodic access interval in cycles (0 = default)")
 		warmup   = flag.Uint64("warmup", 0, "unmeasured warmup operations")
 		seed     = flag.Uint64("seed", 1, "workload / ORAM seed")
+		dramMod  = flag.String("dram", "flat", "DRAM timing model behind the ORAM: flat, banked, or packed (banked + subtree-packed layout)")
 
 		parts   = flag.Int("partitions", 1, "split the address space across this many independent ORAM partitions (>1 runs the sharded scheduler)")
 		clients = flag.Int("clients", 8, "sharded: closed-loop concurrent clients admitted per scheduling round")
@@ -59,11 +60,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	dram, err := pickDRAM(*dramMod)
+	if err != nil {
+		fatal(err)
+	}
 	if *parts > 1 {
 		if *memory != "oram" {
 			fatal(fmt.Errorf("-partitions needs -memory oram"))
 		}
-		runSharded(w, *parts, *clients, *slots, *scheme, *maxSB, *seed)
+		runSharded(w, *parts, *clients, *slots, *scheme, *maxSB, *seed, dram)
 		return
 	}
 	cfg := proram.SimConfig{
@@ -75,6 +80,7 @@ func main() {
 		Oint:             *oint,
 		WarmupOps:        *warmup,
 		Seed:             *seed,
+		DRAM:             dram,
 	}
 	switch *memory {
 	case "oram":
@@ -158,12 +164,13 @@ func main() {
 
 // runSharded replays the workload through the partitioned frontend's
 // deterministic closed-loop scheduler and prints its report.
-func runSharded(w proram.Workload, parts, clients, slots int, scheme string, maxSB int, seed uint64) {
+func runSharded(w proram.Workload, parts, clients, slots int, scheme string, maxSB int, seed uint64, dram *proram.DRAMConfig) {
 	cfg := proram.DefaultConfig()
 	cfg.Partitions = parts
 	cfg.RoundSlots = slots
 	cfg.MaxSuperBlock = maxSB
 	cfg.Seed = seed
+	cfg.DRAM = dram
 	switch scheme {
 	case "none":
 		cfg.Scheme = proram.SchemeNone
@@ -187,6 +194,21 @@ func runSharded(w proram.Workload, parts, clients, slots int, scheme string, max
 	fmt.Printf("real / pad accesses  %d / %d (fill %.3f)\n", s.RealAccesses, s.PadAccesses, s.FillRatio)
 	fmt.Printf("cache hits           %d\n", s.CacheHits)
 	fmt.Printf("carryovers           %d\n", s.Carryovers)
+}
+
+// pickDRAM maps the -dram flag to a public DRAM configuration; nil means
+// the legacy flat channel.
+func pickDRAM(name string) (*proram.DRAMConfig, error) {
+	switch name {
+	case "flat", "":
+		return nil, nil
+	case "banked":
+		return &proram.DRAMConfig{Model: proram.DRAMBanked}, nil
+	case "packed":
+		return &proram.DRAMConfig{Model: proram.DRAMBankedPacked}, nil
+	default:
+		return nil, fmt.Errorf("unknown dram model %q (flat, banked, packed)", name)
+	}
 }
 
 func pickWorkload(name string, ops uint64, locality float64, seed uint64) (proram.Workload, error) {

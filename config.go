@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"proram/internal/dram/banked"
 	"proram/internal/oram"
 	"proram/internal/rng"
 	"proram/internal/superblock"
@@ -71,6 +72,98 @@ type Config struct {
 	// round shape is workload-independent. 0 picks 2×(MaxSuperBlock+1),
 	// the smallest round with headroom for two requests.
 	RoundSlots int
+	// DRAM selects the memory timing model behind the ORAM controller(s).
+	// Nil keeps the legacy flat serialized channel; a banked model schedules
+	// every tree bucket individually across channels and banks. Under
+	// NewSharded a banked model is ONE device all partitions contend for.
+	DRAM *DRAMConfig
+}
+
+// DRAMModel selects the memory timing model.
+type DRAMModel int
+
+const (
+	// DRAMFlat is the legacy model: one serialized channel, every path
+	// access a bulk transfer that owns the whole device.
+	DRAMFlat DRAMModel = iota
+	// DRAMBanked is the multi-channel banked model with the tree stored in
+	// plain heap order (buckets scatter over rows).
+	DRAMBanked
+	// DRAMBankedPacked is the banked model with the subtree-packed layout:
+	// depth-k subtrees co-locate in single DRAM rows and the hot top-of-tree
+	// buckets each hold a row open, striped across channels.
+	DRAMBankedPacked
+)
+
+func (m DRAMModel) String() string {
+	switch m {
+	case DRAMFlat:
+		return "flat"
+	case DRAMBanked:
+		return "banked"
+	case DRAMBankedPacked:
+		return "packed"
+	default:
+		return fmt.Sprintf("DRAMModel(%d)", int(m))
+	}
+}
+
+// DRAMConfig exposes the banked device geometry as public config axes.
+// Zero fields take the dual-channel DDR-style defaults (2 channels of
+// 16 GB/s, 8 banks, 4 KB rows, row-granular channel interleave).
+type DRAMConfig struct {
+	// Model picks flat, banked, or banked with the subtree-packed layout.
+	Model DRAMModel
+	// Channels, Banks, RowBytes and StripeBytes set the device geometry;
+	// BandwidthGBps is the pin bandwidth of ONE channel.
+	Channels      int
+	Banks         int
+	RowBytes      int
+	StripeBytes   int
+	BandwidthGBps float64
+}
+
+// validate rejects unknown models; geometry is checked downstream by
+// banked.Config.Validate.
+func (d *DRAMConfig) validate() error {
+	if d == nil {
+		return nil
+	}
+	switch d.Model {
+	case DRAMFlat, DRAMBanked, DRAMBankedPacked:
+		return nil
+	default:
+		return fmt.Errorf("proram: unknown DRAM model %d", int(d.Model))
+	}
+}
+
+// bankedConfig lowers the public axes to the internal device configuration;
+// nil means the flat model.
+func (d *DRAMConfig) bankedConfig() *banked.Config {
+	if d == nil || d.Model == DRAMFlat {
+		return nil
+	}
+	b := banked.DefaultConfig()
+	if d.Channels != 0 {
+		b.Channels = d.Channels
+	}
+	if d.Banks != 0 {
+		b.Banks = d.Banks
+	}
+	if d.RowBytes != 0 {
+		b.RowBytes = d.RowBytes
+	}
+	if d.StripeBytes != 0 {
+		b.StripeBytes = d.StripeBytes
+	}
+	if d.BandwidthGBps != 0 {
+		b.BandwidthGBps = d.BandwidthGBps
+	}
+	b.Layout = banked.LayoutSubtreePacked
+	if d.Model == DRAMBanked {
+		b.Layout = banked.LayoutLinear
+	}
+	return &b
 }
 
 // DefaultConfig returns a PrORAM-enabled RAM of 2^16 blocks (8 MB).
@@ -120,6 +213,9 @@ func (c Config) normalize() (Config, error) {
 	if c.RoundSlots < 0 {
 		return c, fmt.Errorf("proram: RoundSlots %d must be non-negative", c.RoundSlots)
 	}
+	if err := c.DRAM.validate(); err != nil {
+		return c, err
+	}
 	if c.Blocks < 2 {
 		return c, fmt.Errorf("proram: Blocks %d too small", c.Blocks)
 	}
@@ -143,6 +239,7 @@ func (c Config) oramConfig() oram.Config {
 	o.StashLimit = c.StashBlocks
 	o.Seed = c.Seed
 	o.Super = superblockConfig(c.Scheme, c.MaxSuperBlock)
+	o.Banked = c.DRAM.bankedConfig()
 	return o
 }
 

@@ -49,6 +49,7 @@ func TestHotPathAnnotationSweep(t *testing.T) {
 		"internal/prefetch",
 		"internal/superblock",
 		"internal/dram",
+		"internal/dram/banked",
 		"internal/shard",
 	} {
 		if perPkg[rel] == 0 {

@@ -45,6 +45,31 @@ func (c Config) BytesPerCycle() float64 {
 	return c.BandwidthGBps / c.ClockGHz
 }
 
+// RatePer1024 returns the channel rate as bytes moved per 1024 cycles, the
+// fixed-point form all transfer timing is computed in. The float conversion
+// happens exactly once, at configuration time; every per-access division is
+// pure integer arithmetic, so timing can never drift across platforms.
+func (c Config) RatePer1024() uint64 {
+	return uint64(c.BytesPerCycle()*1024 + 0.5)
+}
+
+// TransferCycles returns the exact channel occupancy of moving bytes:
+// ceil(bytes·1024 / rate), never zero.
+func (c Config) TransferCycles(bytes uint64) uint64 {
+	return transferCycles(bytes, c.RatePer1024())
+}
+
+// transferCycles is the shared exact ceil division on the fixed-point rate.
+//
+//proram:hotpath timing arithmetic for every DRAM enqueue
+func transferCycles(bytes, rate1024 uint64) uint64 {
+	t := (bytes*1024 + rate1024 - 1) / rate1024
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	if c.LatencyCycles == 0 {
@@ -59,7 +84,38 @@ func (c Config) Validate() error {
 	if c.Banks <= 0 {
 		return fmt.Errorf("dram: Banks must be positive, got %d", c.Banks)
 	}
+	if c.RatePer1024() == 0 {
+		return fmt.Errorf("dram: bandwidth %v GB/s at %v GHz rounds to zero bytes per 1024 cycles", c.BandwidthGBps, c.ClockGHz)
+	}
 	return nil
+}
+
+// PathTiming breaks one ORAM path access into its phase completion times.
+// The flat model collapses all four into a single serialized window; a
+// banked device overlaps them across channels.
+type PathTiming struct {
+	// Start is the cycle the first bucket command was issued.
+	Start uint64
+	// ReadDone is when the last path bucket came off the channels.
+	ReadDone uint64
+	// DataReady is ReadDone plus the crypto pipeline drain: the requested
+	// block is usable and a dependent access may issue.
+	DataReady uint64
+	// Done is when the write-back phase fully drained off the device.
+	Done uint64
+}
+
+// Device is a path-granular memory timing backend: the ORAM controller
+// hands it whole path accesses (identified by tree leaf) and consumes the
+// phase schedule it returns. internal/dram/banked implements it; the flat
+// analytic model in this package predates the interface and stays the
+// default when no Device is configured.
+type Device interface {
+	// Path schedules the full read+write-back of the path to leaf, with the
+	// first command issuing no earlier than now.
+	Path(now uint64, leaf uint64) PathTiming
+	// Reset clears device timing state and statistics.
+	Reset()
 }
 
 // Stats aggregates what the device did over a run.
@@ -74,6 +130,7 @@ type Stats struct {
 // with New.
 type Model struct {
 	cfg       Config
+	rate1024  uint64   // bytes per 1024 cycles, fixed-point channel rate
 	bankUntil []uint64 // per-bank next-free time
 	busUntil  uint64   // channel next-free time
 	stats     Stats
@@ -81,6 +138,13 @@ type Model struct {
 	obsAccesses *obs.Counter // nil when obs off
 	obsBulk     *obs.Counter
 	obsBytes    *obs.Counter
+
+	// Obs-counter values captured at the last Instrument/Reset: the registry
+	// counters are cumulative across Resets, so stats-vs-obs identities hold
+	// on the deltas over these baselines (see CheckObs).
+	baseAccesses uint64
+	baseBulk     uint64
+	baseBytes    uint64
 }
 
 // Instrument attaches observability counters. Nil handles (the default)
@@ -89,6 +153,36 @@ func (m *Model) Instrument(accesses, bulk, bytes *obs.Counter) {
 	m.obsAccesses = accesses
 	m.obsBulk = bulk
 	m.obsBytes = bytes
+	m.captureObsBase()
+}
+
+// captureObsBase snapshots the obs counters so future CheckObs calls
+// compare like with like.
+func (m *Model) captureObsBase() {
+	m.baseAccesses = m.obsAccesses.Value()
+	m.baseBulk = m.obsBulk.Value()
+	m.baseBytes = m.obsBytes.Value()
+}
+
+// CheckObs cross-checks the Stats.Validate-style identities between the
+// model's stats and the attached obs counters: every stat field with a
+// counter must equal that counter's growth since the last Instrument or
+// Reset. A mismatch means an emission site and its stats update diverged.
+// With no counters attached it trivially passes.
+func (m *Model) CheckObs() error {
+	if m.obsAccesses == nil && m.obsBulk == nil && m.obsBytes == nil {
+		return nil
+	}
+	if got := m.obsAccesses.Value() - m.baseAccesses; m.obsAccesses != nil && got != m.stats.Accesses {
+		return fmt.Errorf("dram: obs accesses counter moved %d, stats say %d", got, m.stats.Accesses)
+	}
+	if got := m.obsBulk.Value() - m.baseBulk; m.obsBulk != nil && got != m.stats.BulkTransfers {
+		return fmt.Errorf("dram: obs bulk-transfer counter moved %d, stats say %d", got, m.stats.BulkTransfers)
+	}
+	if got := m.obsBytes.Value() - m.baseBytes; m.obsBytes != nil && got != m.stats.BytesMoved {
+		return fmt.Errorf("dram: obs bytes counter moved %d, stats say %d", got, m.stats.BytesMoved)
+	}
+	return nil
 }
 
 // New builds a Model from cfg. It panics on an invalid configuration
@@ -101,6 +195,7 @@ func New(cfg Config) *Model {
 	}
 	return &Model{
 		cfg:       cfg,
+		rate1024:  cfg.RatePer1024(),
 		bankUntil: make([]uint64, cfg.Banks),
 	}
 }
@@ -115,19 +210,7 @@ func (m *Model) Stats() Stats { return m.stats }
 //
 //proram:hotpath timing arithmetic for every DRAM enqueue
 func (m *Model) transferCycles(bytes uint64) uint64 {
-	bpc := m.cfg.BytesPerCycle()
-	t := uint64(float64(bytes)/bpc + 0.999999)
-	if t == 0 {
-		t = 1
-	}
-	return t
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
+	return transferCycles(bytes, m.rate1024)
 }
 
 // Access models one cache-line access issued at time now to the given
@@ -140,10 +223,10 @@ func (m *Model) Access(now, addr, bytes uint64) uint64 {
 	bank := int((addr / 4096) % uint64(len(m.bankUntil))) // page-interleaved
 	transfer := m.transferCycles(bytes)
 
-	start := maxU64(now, m.bankUntil[bank])
+	start := max(now, m.bankUntil[bank])
 	// The channel must be free for the transfer portion at the end of the
 	// access; approximate by serializing transfers on the bus.
-	busStart := maxU64(start+m.cfg.LatencyCycles-transfer, m.busUntil)
+	busStart := max(start+m.cfg.LatencyCycles-transfer, m.busUntil)
 	done := busStart + transfer
 
 	m.bankUntil[bank] = done
@@ -164,7 +247,7 @@ func (m *Model) Access(now, addr, bytes uint64) uint64 {
 //proram:hotpath one enqueue per ORAM path transfer
 func (m *Model) BulkTransfer(now, bytes, extraLatency uint64) uint64 {
 	transfer := m.transferCycles(bytes)
-	start := maxU64(now, m.busUntil)
+	start := max(now, m.busUntil)
 	// A bulk transfer owns every bank and the channel until done.
 	done := start + extraLatency + transfer
 	for i := range m.bankUntil {
@@ -182,13 +265,16 @@ func (m *Model) BulkTransfer(now, bytes, extraLatency uint64) uint64 {
 // NextFree returns the earliest cycle at which the channel is idle.
 func (m *Model) NextFree() uint64 { return m.busUntil }
 
-// Reset clears device state and statistics, keeping the configuration.
+// Reset clears device state and statistics, keeping the configuration. The
+// attached obs counters are registry-owned and keep counting across Resets;
+// Reset re-baselines them so the CheckObs identities hold mid-run.
 func (m *Model) Reset() {
 	for i := range m.bankUntil {
 		m.bankUntil[i] = 0
 	}
 	m.busUntil = 0
 	m.stats = Stats{}
+	m.captureObsBase()
 }
 
 // Sub returns the delta of s over an earlier snapshot (all fields are

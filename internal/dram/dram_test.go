@@ -3,6 +3,8 @@ package dram
 import (
 	"testing"
 	"testing/quick"
+
+	"proram/internal/obs"
 )
 
 func TestDefaultConfigValid(t *testing.T) {
@@ -143,5 +145,70 @@ func TestTransferNeverZero(t *testing.T) {
 	d := m.BulkTransfer(0, 1, 0)
 	if d == 0 {
 		t.Fatal("zero-cycle transfer for 1 byte")
+	}
+}
+
+// TestTransferCyclesExactCeil pins the fixed-point transfer arithmetic:
+// exact integer ceil division on the bytes-per-1024-cycles rate, matching
+// hand-computed values for both divisible and fractional rates.
+func TestTransferCyclesExactCeil(t *testing.T) {
+	cfg := DefaultConfig() // 16 B/cycle -> rate 16384
+	if got := cfg.RatePer1024(); got != 16*1024 {
+		t.Fatalf("RatePer1024 = %d, want %d", got, 16*1024)
+	}
+	cases := []struct{ bytes, want uint64 }{
+		{16, 1}, {17, 2}, {32, 2}, {15360, 960}, {15361, 961}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := cfg.TransferCycles(c.bytes); got != c.want {
+			t.Errorf("TransferCycles(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+	// A fractional rate (12.8 B/cycle -> 13107.2 -> 13107): pure integer
+	// ceil, no float in the per-access path.
+	frac := cfg
+	frac.BandwidthGBps = 12.8
+	if got := frac.RatePer1024(); got != 13107 {
+		t.Fatalf("fractional RatePer1024 = %d, want 13107", got)
+	}
+	if got := frac.TransferCycles(128); got != (128*1024+13106)/13107 {
+		t.Errorf("fractional TransferCycles(128) = %d", got)
+	}
+}
+
+// TestResetKeepsObsCoherent is the stats-vs-obs satellite: the registry
+// counters keep counting across a mid-run Reset while stats restart, and
+// CheckObs must hold before, after, and between.
+func TestResetKeepsObsCoherent(t *testing.T) {
+	rec := obs.New(obs.Options{})
+	m := New(DefaultConfig())
+	m.Instrument(rec.Counter("dram.accesses"),
+		rec.Counter("dram.bulk_transfers"), rec.Counter("dram.bytes_moved"))
+
+	m.Access(0, 0, 64)
+	m.BulkTransfer(100, 4096, 10)
+	if err := m.CheckObs(); err != nil {
+		t.Fatalf("pre-Reset: %v", err)
+	}
+	m.Reset()
+	if err := m.CheckObs(); err != nil {
+		t.Fatalf("right after Reset: %v", err)
+	}
+	if got := rec.Counter("dram.accesses").Value(); got != 1 {
+		t.Fatalf("registry counter reset with the model: %d", got)
+	}
+	m.Access(0, 4096, 64)
+	m.Access(50, 8192, 64)
+	if err := m.CheckObs(); err != nil {
+		t.Fatalf("post-Reset traffic: %v", err)
+	}
+	if m.Stats().Accesses != 2 {
+		t.Fatalf("stats not reset: %+v", m.Stats())
+	}
+	// A deliberate divergence must be caught: bump a counter behind the
+	// model's back.
+	rec.Counter("dram.bytes_moved").Add(1)
+	if err := m.CheckObs(); err == nil {
+		t.Fatal("CheckObs missed a stats-vs-obs divergence")
 	}
 }

@@ -42,7 +42,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8c", "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15a", "fig15b", "fig15c",
 		"ablation_plb", "ablation_threshold", "ablation_oint", "ablation_prefill",
-		"ablation_shard", "bench0"}
+		"ablation_shard", "bench0", "ablation_dram", "bench1"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true
@@ -395,5 +395,27 @@ func TestAblationOintShape(t *testing.T) {
 			t.Errorf("%s: leak fell along the ladder: %.1f after %.1f", row, l, prevLeak)
 		}
 		prevDummies, prevLeak = d, l
+	}
+}
+
+// DRAM ablation: the banked device with the subtree-packed layout must
+// beat the flat serialized channel on cycles per ORAM access, on the
+// sequential and strided models (the acceptance bar), and packing must
+// raise the row-hit rate over the linear layout.
+func TestAblationDRAMShape(t *testing.T) {
+	tb := cached(t, "ablation_dram")
+	for _, model := range []string{"sequential", "strided"} {
+		flat := tb.MustCell(model+"/flat", "cycles_per_access")
+		packed := tb.MustCell(model+"/packed", "cycles_per_access")
+		if packed >= flat {
+			t.Errorf("%s: packed cycles/access %.0f not below flat %.0f", model, packed, flat)
+		}
+	}
+	for _, model := range []string{"sequential", "strided", "random"} {
+		lin := tb.MustCell(model+"/banked", "row_hit_permille")
+		pk := tb.MustCell(model+"/packed", "row_hit_permille")
+		if pk <= lin {
+			t.Errorf("%s: packed row-hit permille %.0f not above linear %.0f", model, pk, lin)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"proram/internal/dram"
+	"proram/internal/dram/banked"
 	"proram/internal/superblock"
 )
 
@@ -46,8 +47,14 @@ type Config struct {
 	// eviction pressure.
 	TreeLevelsOverride int
 
-	// DRAM supplies channel latency/bandwidth for the timing model.
+	// DRAM supplies channel latency/bandwidth for the flat timing model.
 	DRAM dram.Config
+	// Banked, when non-nil, replaces the flat per-path latency with a banked
+	// multi-channel device: every bucket of every path is scheduled
+	// individually (row-buffer state, per-channel buses) through the layout
+	// in Banked.Layout, and the read and write-back phases of consecutive
+	// paths overlap. Nil keeps the legacy analytic model bit-identical.
+	Banked *banked.Config
 	// CryptoLatency is the fixed pipeline-fill cost charged per path
 	// access for decryption/encryption.
 	CryptoLatency uint64
@@ -138,6 +145,11 @@ func (c Config) Validate() error {
 	if err := c.DRAM.Validate(); err != nil {
 		return err
 	}
+	if c.Banked != nil {
+		if err := c.Banked.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.Periodic && c.Oint == 0 {
 		return fmt.Errorf("oram: Periodic requires a positive Oint")
 	}
@@ -186,7 +198,5 @@ func (c Config) PathLatency(levels int) uint64 {
 		return c.PathLatencyOverride
 	}
 	bytes := 2 * uint64(levels+1) * uint64(c.Z) * uint64(c.BlockBytes)
-	bpc := c.DRAM.BytesPerCycle()
-	transfer := uint64(float64(bytes)/bpc + 0.999999)
-	return transfer + c.DRAM.LatencyCycles + c.CryptoLatency
+	return c.DRAM.TransferCycles(bytes) + c.DRAM.LatencyCycles + c.CryptoLatency
 }

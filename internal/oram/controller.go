@@ -3,6 +3,8 @@ package oram
 import (
 	"fmt"
 
+	"proram/internal/dram"
+	"proram/internal/dram/banked"
 	"proram/internal/mem"
 	"proram/internal/obs"
 	"proram/internal/posmap"
@@ -37,6 +39,11 @@ type Controller struct {
 
 	pathLat uint64
 	lastEnd uint64
+	// dev, when non-nil, schedules path accesses bucket-by-bucket on a
+	// banked device instead of charging the flat pathLat. Dependent work
+	// chains at the device's data-ready time, so the write-back phase of one
+	// path overlaps the read phase of the next.
+	dev dram.Device
 
 	// hitBits holds the per-data-block hit bit: whether the block's last
 	// prefetch was used (paper §4.3). Keyed by data index; absent = false.
@@ -96,6 +103,13 @@ func New(cfg Config) (*Controller, error) {
 		hitBits: make(map[uint64]bool),
 	}
 	c.pathLat = cfg.PathLatency(levels)
+	if cfg.Banked != nil {
+		dev, err := banked.NewDevice(*cfg.Banked, levels, cfg.Z, cfg.BlockBytes, cfg.CryptoLatency)
+		if err != nil {
+			return nil, err
+		}
+		c.dev = dev
+	}
 	c.initDynOint()
 	if cfg.Prefill {
 		c.prefill()
@@ -161,13 +175,6 @@ func (c *Controller) leafOf(id mem.BlockID) mem.Leaf {
 	return c.pm.EntryFor(id.Level(), id.Index()).Leaf
 }
 
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // scheduleStart returns the start time of the next path access given that
 // the request is ready at `ready`. In periodic mode it first issues the
 // dummy accesses the public schedule demands for the idle gap and then
@@ -177,7 +184,7 @@ func maxU64(a, b uint64) uint64 {
 //proram:hotpath scheduling decision before every path access
 func (c *Controller) scheduleStart(ready uint64) uint64 {
 	if !c.cfg.Periodic {
-		return maxU64(ready, c.lastEnd)
+		return max(ready, c.lastEnd)
 	}
 	for c.lastEnd+c.currentOint() < ready {
 		slot := c.lastEnd + c.currentOint()
@@ -198,10 +205,19 @@ func (c *Controller) scheduleStart(ready uint64) uint64 {
 //proram:hotpath the core path read+write of every ORAM access
 func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind, during func()) uint64 {
 	end := start + c.pathLat
+	busy := c.pathLat
+	if c.dev != nil {
+		// Banked device: dependent work resumes at data-ready (read phase +
+		// crypto drain); the write-back keeps draining underneath the next
+		// path's reads, charged as channel occupancy, not request latency.
+		pt := c.dev.Path(start, uint64(leaf))
+		end = pt.DataReady
+		busy = pt.Done - start
+	}
 	c.lastEnd = end
 	c.stats.PathAccesses++
-	c.stats.BusyCycles += c.pathLat
-	c.winBusy += c.pathLat
+	c.stats.BusyCycles += busy
+	c.winBusy += busy
 	c.stats.BytesMoved += 2 * c.tr.PathBytes(c.cfg.BlockBytes)
 	switch kind {
 	case KindData:
@@ -223,7 +239,7 @@ func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind,
 	}
 	c.obsPaths.Inc()
 	c.obsKindCtr[kind].Inc()
-	c.obs.Span("oram", kind.String(), start, c.pathLat, "leaf", uint64(leaf))
+	c.obs.Span("oram", kind.String(), start, end-start, "leaf", uint64(leaf))
 
 	c.scratch = c.tr.RemovePath(leaf, c.scratch[:0])
 	for _, id := range c.scratch {
@@ -285,7 +301,7 @@ func (c *Controller) accessPosMapBlock(ready uint64, id mem.BlockID, kind Access
 	// Resolve the schedule first: in periodic mode this issues catch-up
 	// dummy accesses, which move blocks around and must therefore observe
 	// the pre-remap position map.
-	start := c.scheduleStart(maxU64(ready, c.lastEnd))
+	start := c.scheduleStart(max(ready, c.lastEnd))
 	level, index := id.Level(), id.Index()
 	newLeaf := c.randLeaf()
 	var oldLeaf mem.Leaf
@@ -446,3 +462,29 @@ func (c *Controller) NotifyPrefetchEvict(index uint64) {
 // PosMapDepth returns the number of position-map levels above the data
 // (the paper's hierarchy count minus one).
 func (c *Controller) PosMapDepth() int { return c.pm.Depth() }
+
+// Device returns the banked device driving the timing model, or nil when
+// the controller charges the flat analytic path latency.
+func (c *Controller) Device() dram.Device { return c.dev }
+
+// DeviceStats returns the banked device's statistics when one is attached.
+func (c *Controller) DeviceStats() (banked.Stats, bool) {
+	if d, ok := c.dev.(*banked.Device); ok {
+		return d.Model().Stats(), true
+	}
+	return banked.Stats{}, false
+}
+
+// AlignClock rewrites the controller's notion of "when the last access
+// ended" to now. The sharded frontend uses it at the round barrier after
+// arbitrating the round's provisionally-timed accesses onto the shared
+// banked device: the worker ran the round on its private provisional
+// clock, and the barrier installs the contended completion time before the
+// next round starts. The adaptive-threshold window origin is clamped so a
+// rewind can never underflow the window arithmetic.
+func (c *Controller) AlignClock(now uint64) {
+	c.lastEnd = now
+	if c.winStart > now {
+		c.winStart = now
+	}
+}

@@ -21,7 +21,7 @@ func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []
 	fanout := uint64(c.cfg.Fanout)
 	// Resolve the schedule first: periodic catch-up dummies must run
 	// against the pre-remap position map (they relocate blocks).
-	start := c.scheduleStart(maxU64(ready, c.lastEnd))
+	start := c.scheduleStart(max(ready, c.lastEnd))
 	pbIdx := index / fanout
 	slot := int(index % fanout)
 	pb := c.pm.Block(1, pbIdx)

@@ -1,6 +1,9 @@
 package oram
 
-import "proram/internal/obs"
+import (
+	"proram/internal/dram/banked"
+	"proram/internal/obs"
+)
 
 // SetRecorder installs the observability recorder and registers the
 // controller's metrics, time series and sampler callbacks. Call it right
@@ -29,6 +32,9 @@ func (c *Controller) SetRecorder(rec *obs.Recorder) {
 	c.st.Instrument(rec.Counter("stash.writebacks"), rec.Gauge("stash.high_water"))
 	c.plb.Instrument(rec.Counter("plb.hits"), rec.Counter("plb.misses"),
 		rec.Counter("plb.dirty_evictions"))
+	if d, ok := c.dev.(*banked.Device); ok {
+		d.Model().Instrument(rec)
+	}
 
 	// Time series, sampled on the simulated clock. Rates are computed over
 	// the window since the previous tick, so the series show trajectories

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"proram/internal/dram/banked"
 	"proram/internal/obs"
 	"proram/internal/oram"
 	"proram/internal/rng"
@@ -43,6 +44,17 @@ type Config struct {
 	// ORAM is the per-partition controller template; NumBlocks, BlockBytes,
 	// Seed and RecordTrace are overridden per partition.
 	ORAM oram.Config
+	// Banked, when non-nil, makes every partition contend for ONE shared
+	// banked device instead of each owning a flat channel: partition trees
+	// lay out at channel-aligned offsets of the same physical device, and
+	// each round's accesses are arbitrated onto it at the round barrier in
+	// canonical (slot, partition) order, so the contended timing is
+	// deterministic no matter how the worker goroutines raced. Workers run
+	// rounds on provisional private clocks; the barrier installs the
+	// contended times. (The per-partition ORAM template's own Banked field
+	// is ignored here — a private banked device per partition would dodge
+	// exactly the contention this models.)
+	Banked *banked.Config
 	// RecordArrivals keeps the admission log needed to Replay a run.
 	RecordArrivals bool
 	// RecordAccesses keeps the canonical global access sequence (Log).
@@ -84,6 +96,11 @@ func (c Config) normalize() (Config, error) {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Banked != nil {
+		if err := c.Banked.Validate(); err != nil {
+			return c, err
+		}
+	}
 	return c, nil
 }
 
@@ -93,6 +110,9 @@ type Frontend struct {
 	cfg   Config
 	pmap  *PartitionMap
 	parts []*partition
+	// dev is the shared banked device all partitions contend for (nil in
+	// flat mode). Only the round driver touches it, at the commit barrier.
+	dev *banked.Shared
 
 	// results is the shared round barrier: every worker reports here and
 	// the round driver collects exactly one result per partition.
@@ -162,13 +182,20 @@ func build(cfg Config, manual bool) (*Frontend, error) {
 	if cacheBlocks < 16 {
 		cacheBlocks = 16
 	}
+	// Shared-device arbitration replays each round's access sequence at the
+	// barrier, so it needs the per-round traces even when the caller didn't
+	// ask for the access log.
+	record := cfg.RecordAccesses || cfg.Banked != nil
 	for i := range f.parts {
 		seedP := mix(cfg.Seed, 0x70617274<<8|uint64(i))
 		ocfg := cfg.ORAM
 		ocfg.NumBlocks = localBlocks
 		ocfg.BlockBytes = cfg.BlockBytes
 		ocfg.Seed = mix(seedP, 1)
-		ocfg.RecordTrace = cfg.RecordAccesses
+		ocfg.RecordTrace = record
+		// Workers run on provisional flat clocks; the shared device (below)
+		// owns the banked timing, so partitions never build private ones.
+		ocfg.Banked = nil
 		ctrl, err := oram.New(ocfg)
 		if err != nil {
 			return nil, fmt.Errorf("shard: partition %d: %w", i, err)
@@ -183,7 +210,7 @@ func build(cfg Config, manual bool) (*Frontend, error) {
 			cacheBlocks: cacheBlocks,
 			roundSlots:  cfg.RoundSlots,
 			maxCost:     cfg.MaxSuperBlock + 1,
-			record:      cfg.RecordAccesses,
+			record:      record,
 			store:       NewStore(ctrl, sealer, cfg.BlockBytes),
 			dummyRnd:    rng.New(mix(seedP, 3)),
 			local:       make(map[uint64]uint64),
@@ -195,6 +222,20 @@ func build(cfg Config, manual bool) (*Frontend, error) {
 		ctrl.SetProber(p)
 		f.parts[i] = p
 		go p.run()
+	}
+	if cfg.Banked != nil {
+		ctrl0 := f.parts[0].store.Ctrl
+		dev, err := banked.NewShared(*cfg.Banked, cfg.Partitions,
+			ctrl0.TreeLevels(), ctrl0.Config().Z, cfg.BlockBytes, ctrl0.Config().CryptoLatency)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shared banked device: %w", err)
+		}
+		f.dev = dev
+		if cfg.Recorder.Enabled() {
+			// All device accesses happen at the commit barrier on the round
+			// driver, the same goroutine that owns every other emission.
+			dev.Model().Instrument(cfg.Recorder)
+		}
 	}
 	return f, nil
 }
@@ -384,7 +425,7 @@ func (f *Frontend) runRound(round uint64, take [][]*request) {
 		p.work <- roundWork{kind: roundDemand, round: round, start: floor, reqs: take[i]}
 	}
 	byPart := f.collect()
-	f.commit(round, roundDemand, byPart)
+	f.commit(round, roundDemand, floor, byPart)
 }
 
 // runFlush executes one flush round: every partition writes its dirty
@@ -400,7 +441,7 @@ func (f *Frontend) runFlush() error {
 		p.work <- roundWork{kind: roundFlush, round: round, start: floor}
 	}
 	flushed := f.collect()
-	f.commit(round, roundFlush, flushed)
+	f.commit(round, roundFlush, floor, flushed)
 	longest := 0
 	failures := 0
 	for _, r := range flushed {
@@ -413,7 +454,7 @@ func (f *Frontend) runFlush() error {
 	for i, p := range f.parts {
 		p.work <- roundWork{kind: roundPad, round: round, start: floor, padTo: longest - flushed[i].real}
 	}
-	f.commit(round, roundPad, f.collect())
+	f.commit(round, roundPad, floor, f.collect())
 	if failures > 0 {
 		return fmt.Errorf("shard: flush failed to write back %d blocks", failures)
 	}
@@ -431,12 +472,16 @@ func (f *Frontend) collect() []roundResult {
 	return byPart
 }
 
-// commit publishes a completed round: access-log records in (round,
-// partition) order, leftover requeueing, the stats snapshot, and obs
-// emissions. Runs on the round driver with all workers idle, which is
-// what makes the worker-state reads race-free.
-func (f *Frontend) commit(round uint64, kind roundKind, byPart []roundResult) {
+// commit publishes a completed round: shared-device arbitration, access-log
+// records in (round, partition) order, leftover requeueing, the stats
+// snapshot, and obs emissions. Runs on the round driver with all workers
+// idle, which is what makes the worker-state reads and clock writes
+// race-free.
+func (f *Frontend) commit(round uint64, kind roundKind, floor uint64, byPart []roundResult) {
 	f.mu.Lock()
+	if f.dev != nil {
+		f.arbitrate(floor, byPart)
+	}
 	leftovers := 0
 	for i, r := range byPart {
 		if len(r.leftovers) > 0 {
@@ -463,6 +508,33 @@ func (f *Frontend) commit(round uint64, kind roundKind, byPart []roundResult) {
 	pending := f.pending
 	f.mu.Unlock()
 	f.met.onRound(f, kind, byPart, leftovers, pending)
+}
+
+// arbitrate schedules the round's recorded accesses onto the shared banked
+// device, slot-major across partitions from the round's clock floor, then
+// installs the contended times: each trace event's provisional start is
+// rewritten to its arbitrated issue cycle (before the log sees it), and
+// each partition's clock — store and controller — moves to its last
+// access's data-ready time. Callers hold mu with all workers idle.
+func (f *Frontend) arbitrate(floor uint64, byPart []roundResult) {
+	lanes := make([][]uint64, len(f.parts))
+	for _, r := range byPart {
+		lane := make([]uint64, len(r.trace))
+		for j, ev := range r.trace {
+			lane[j] = uint64(ev.Leaf)
+		}
+		lanes[r.part] = lane
+	}
+	starts, ready := f.dev.CommitRound(floor, lanes)
+	for i := range byPart {
+		r := &byPart[i]
+		for j := range r.trace {
+			r.trace[j].Start = starts[r.part][j]
+		}
+		p := f.parts[r.part]
+		p.store.Now = ready[r.part]
+		p.store.Ctrl.AlignClock(ready[r.part])
+	}
 }
 
 // computeStats rebuilds the stats snapshot from worker state. Callers
@@ -505,6 +577,10 @@ func (f *Frontend) computeStats(kind roundKind, leftovers int) Stats {
 		if p.store.Now > s.Cycles {
 			s.Cycles = p.store.Now
 		}
+	}
+	if f.dev != nil {
+		s.Banked = f.dev.Model().Stats()
+		s.BankedActive = true
 	}
 	return s
 }

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 
+	"proram/internal/dram/banked"
 	"proram/internal/oram"
 )
 
@@ -55,6 +56,10 @@ type Stats struct {
 	RequestErrors uint64
 	// Cycles is the maximum partition clock: the run's simulated makespan.
 	Cycles uint64
+	// Banked carries the shared banked device's row-buffer and channel
+	// statistics when the frontend arbitrates onto one (BankedActive set).
+	Banked       banked.Stats
+	BankedActive bool
 	// Partitions holds the per-partition breakdown, indexed by partition.
 	Partitions []PartitionStats
 }

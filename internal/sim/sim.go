@@ -11,6 +11,7 @@ import (
 	"proram/internal/cache"
 	"proram/internal/cpu"
 	"proram/internal/dram"
+	"proram/internal/dram/banked"
 	"proram/internal/obs"
 	"proram/internal/oram"
 	"proram/internal/prefetch"
@@ -134,6 +135,9 @@ type Report struct {
 	// Subsystem detail.
 	ORAM oram.Stats
 	DRAM dram.Stats
+	// Banked carries the banked device's row-buffer and channel statistics
+	// when the ORAM controller runs on one (ORAM.Banked set); zero otherwise.
+	Banked banked.Stats
 }
 
 // PrefetchMissRate returns the resolved miss rate of whichever prefetching
@@ -287,6 +291,7 @@ func (s *System) Run(g trace.Generator) (Report, error) {
 		StreamUnused:  cur.StreamUnused - snap.StreamUnused,
 		ORAM:          cur.ORAM.Sub(snap.ORAM),
 		DRAM:          cur.DRAM.Sub(snap.DRAM),
+		Banked:        cur.Banked.Sub(snap.Banked),
 	}
 	if s.mem.ctrl != nil {
 		rep.MemoryAccesses = rep.ORAM.PathAccesses
@@ -299,6 +304,11 @@ func (s *System) Run(g trace.Generator) (Report, error) {
 	}
 	if s.mem.dram != nil {
 		rep.MemoryAccesses = rep.DRAM.Accesses
+		// The stats-vs-obs identities must survive the whole run (including
+		// any Reset): a divergence means an emission site drifted.
+		if err := s.mem.dram.CheckObs(); err != nil {
+			return Report{}, err
+		}
 	}
 	return rep, nil
 }
@@ -312,6 +322,9 @@ func (m *memSystem) snapshot() Report {
 	rep.LLCMisses = m.hier.LLC().Misses()
 	if m.ctrl != nil {
 		rep.ORAM = m.ctrl.Stats()
+		if bs, ok := m.ctrl.DeviceStats(); ok {
+			rep.Banked = bs
+		}
 	}
 	if m.dram != nil {
 		rep.DRAM = m.dram.Stats()

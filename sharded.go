@@ -160,6 +160,7 @@ func (c Config) shardConfig() shard.Config {
 		Key:           c.sealKey(),
 		Seed:          c.Seed,
 		ORAM:          o,
+		Banked:        c.DRAM.bankedConfig(),
 	}
 }
 

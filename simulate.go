@@ -41,6 +41,9 @@ type SimConfig struct {
 	StashBlocks int
 	// BandwidthGBps overrides the 16 GB/s memory channel.
 	BandwidthGBps float64
+	// DRAM selects the device timing model behind the ORAM controller
+	// (ignored for MemoryDRAM). Nil keeps the legacy flat channel.
+	DRAM *DRAMConfig
 	// Periodic enables timing-channel-protected (periodic) accesses with
 	// the public interval Oint (cycles).
 	Periodic bool
@@ -91,6 +94,10 @@ func NewSimulator(c SimConfig) (*Simulator, error) {
 	if c.Seed != 0 {
 		cfg.ORAM.Seed = c.Seed
 	}
+	if err := c.DRAM.validate(); err != nil {
+		return nil, err
+	}
+	cfg.ORAM.Banked = c.DRAM.bankedConfig()
 	maxSB := c.MaxSuperBlock
 	if maxSB == 0 {
 		maxSB = 2
