@@ -1,22 +1,32 @@
 // Command proram-vet runs the repo-specific static-analysis suite: the
-// determinism, maporder, oblivious, panicdiscipline, seedplumbing and
+// determinism, maporder, oblivious, panicdiscipline, seedplumbing,
+// allocdiscipline, goroutinediscipline, lockorder, concdeterminism and
 // allowhygiene passes of proram/internal/analysis.
 //
 // Usage:
 //
 //	go run ./cmd/proram-vet ./...
-//	go run ./cmd/proram-vet -checks determinism,maporder ./internal/oram
+//	go run ./cmd/proram-vet -pass lockorder,goroutinediscipline ./internal/shard
+//	go run ./cmd/proram-vet -list-passes
 //	go run ./cmd/proram-vet -json ./... > vet.json
 //
 // It loads and type-checks the whole module (standard library imports
 // are resolved from GOROOT source, so no tooling beyond the Go
-// distribution is needed), prints findings as file:line:col: [check]
-// message, and exits nonzero if anything was reported. With -json the
-// findings are emitted as a single JSON report on stdout instead —
-// module-relative forward-slash paths and runner-sorted findings, so two
-// runs over the same tree produce byte-identical output fit for CI
-// artifact diffing. Suppressions are //proram: directives in the source;
-// see doc.go at the repository root.
+// distribution is needed) and prints findings as file:line:col: [check]
+// message. With -json the findings are emitted as a single JSON report
+// on stdout instead — module-relative forward-slash paths and
+// runner-sorted findings, so two runs over the same tree produce
+// byte-identical output fit for CI artifact diffing. Suppressions are
+// //proram: directives in the source; see doc.go at the repository
+// root.
+//
+// Exit status distinguishes findings from breakage, so CI can react to
+// each differently:
+//
+//	0  the analyzed packages are clean
+//	1  at least one finding was reported
+//	2  the analyzer itself failed (bad flags, unreadable module,
+//	   type-check errors) — the run says nothing about the code
 package main
 
 import (
@@ -50,18 +60,27 @@ type jsonReport struct {
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	listFlag := flag.Bool("list", false, "list available checks and exit")
+	passFlag := flag.String("pass", "", "alias of -checks")
+	listFlag := flag.Bool("list", false, "list registered passes with their descriptions and exit")
+	listPasses := flag.Bool("list-passes", false, "alias of -list")
 	jsonFlag := flag.Bool("json", false, "emit a byte-stable JSON report on stdout instead of file:line:col lines")
 	flag.Parse()
 
-	if *listFlag {
+	if *listFlag || *listPasses {
 		for _, p := range analysis.DefaultPasses() {
-			fmt.Printf("%-16s %s\n", p.Name, p.Doc)
+			fmt.Printf("%-20s %s\n", p.Name, p.Doc)
 		}
 		return
 	}
 
-	passes, err := analysis.SelectPasses(*checks)
+	selected := *checks
+	if *passFlag != "" {
+		if selected != "" && selected != *passFlag {
+			fatal(fmt.Errorf("proram-vet: -checks and -pass disagree; use one"))
+		}
+		selected = *passFlag
+	}
+	passes, err := analysis.SelectPasses(selected)
 	if err != nil {
 		fatal(err)
 	}
@@ -244,7 +263,10 @@ func selectPackages(prog *analysis.Program, root string, patterns []string) ([]*
 	return out, nil
 }
 
+// fatal reports an internal analyzer failure. Exit status 2 keeps it
+// distinguishable from "findings were reported" (status 1): CI must
+// fail on breakage but may merely surface findings.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	os.Exit(2)
 }

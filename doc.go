@@ -42,10 +42,10 @@
 //	//proram:allow <check>[,<check>...] <reason>
 //
 // suppresses the named checks (determinism, maporder, oblivious,
-// panicdiscipline, seedplumbing, allocdiscipline, allowhygiene) on the
-// same line or the line directly below; written before the package clause
-// it covers the whole file. The reason is mandatory in spirit and audited
-// in review.
+// panicdiscipline, seedplumbing, allocdiscipline, goroutinediscipline,
+// lockorder, concdeterminism, allowhygiene) on the same line or the line
+// directly below; written before the package clause it covers the whole
+// file. The reason is mandatory in spirit and audited in review.
 //
 //	//proram:hotpath <reason>
 //
@@ -80,7 +80,22 @@
 // mem.Block.Data, the decrypted payload). Taint survives module-local
 // calls: up to 62 parameters are tracked per function with per-parameter
 // origin bits, anything beyond that degrades soundly to an opaque origin
-// that never crosses a call boundary.
+// that never crosses a call boundary. Beyond branches and indexes, the
+// oblivious pass treats scheduling choices as sinks: a secret reaching
+// the target of a channel send or receive, the callee expression of a go
+// statement, or the receiver of a mutex Lock/RLock is flagged, because
+// which partition, lock or goroutine a worker touches is as observable
+// as which address it reads.
+//
+//	//proram:detround <reason>
+//
+// attached to a statement the concdeterminism pass flags (a multi-case
+// select, a fan-in receive, a spawn-order collection loop) declares that
+// the sharded frontend's round barrier makes the outcome deterministic
+// anyway. The pass verifies the claim structurally: the annotated code
+// must be reachable on the module call graph from a round driver
+// (shard.Frontend.dispatch or shard.Replay), the reason is mandatory,
+// and a detround that suppresses nothing is itself a finding.
 //
 // The allowhygiene pass keeps the vocabulary honest: unknown directives,
 // unknown check names, justification-free invariants and stale allows

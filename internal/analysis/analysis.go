@@ -141,6 +141,9 @@ func DefaultPasses() []*Pass {
 		PanicDiscipline(),
 		SeedPlumbing(),
 		AllocDiscipline(),
+		GoroutineDiscipline(),
+		LockOrder(),
+		ConcDeterminism(),
 		AllowHygiene(),
 	}
 }

@@ -184,6 +184,35 @@ func TestSeedPlumbingFixture(t *testing.T) {
 	runFixture(t, []*Pass{SeedPlumbing()}, fixtureBase+"seedplumbing")
 }
 
+// TestGoroutineFixture exercises the goroutine-discipline pass:
+// captured-write races, loop self-races and call-spawn escapes, with
+// the channel-join, WaitGroup and common-lock shapes staying quiet.
+func TestGoroutineFixture(t *testing.T) {
+	runFixture(t, []*Pass{GoroutineDiscipline()}, fixtureBase+"goroutine")
+}
+
+// TestLockOrderFixture exercises the lock-discipline pass: path
+// imbalance, re-acquisition, bare Cond.Wait and AB/BA acquisition-order
+// cycles, locally and through a helper call.
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, []*Pass{LockOrder()}, fixtureBase+"lockorder")
+}
+
+// TestConcDeterminismFixture exercises the concurrent-determinism pass
+// with the fixture's own round-driver root: scheduling-ordered shapes
+// report, and //proram:detround suppresses only under the driver, with
+// a reason, and only when it marks something.
+func TestConcDeterminismFixture(t *testing.T) {
+	runFixture(t, []*Pass{ConcDeterminism(fixtureBase + "concdet.driver")}, fixtureBase+"concdet")
+}
+
+// TestSchedSinkFixture exercises the oblivious pass's scheduling sinks
+// (channel send/receive targets, goroutine spawn targets, lock
+// acquisition targets) and the range-key geometry refinement.
+func TestSchedSinkFixture(t *testing.T) {
+	runFixture(t, []*Pass{Oblivious(fixtureBase + "schedsink")}, fixtureBase+"schedsink")
+}
+
 // The hygiene fixture runs under every default pass so named checks count
 // as executed (stale detection is gated on that) and so used suppressions
 // are consumed by the pass they name.

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestHeldLockSummaries pins the held-lock summary layer on the
+// lockorder fixture: acquisition order with the already-held set,
+// held-call records, and the transitive closure through a callee.
+func TestHeldLockSummaries(t *testing.T) {
+	prog := program(t)
+	sums := prog.lockSummaries()
+	find := func(name string) *lockSummary {
+		t.Helper()
+		for n, s := range sums.byFunc {
+			if n.Pkg.Rel == fixtureBase+"lockorder" && n.Name() == name {
+				return s
+			}
+		}
+		t.Fatalf("no summary for %s", name)
+		return nil
+	}
+
+	ab := find("pair.ab")
+	if len(ab.acquires) != 2 {
+		t.Fatalf("pair.ab: %d acquires, want 2", len(ab.acquires))
+	}
+	if a := ab.acquires[1]; a.base != "lockorder.pair.b" ||
+		len(a.heldBefore) != 1 || a.heldBefore[0] != "lockorder.pair.a" {
+		t.Errorf("pair.ab second acquire: %+v", ab.acquires[1])
+	}
+
+	x := find("two.xThenY")
+	if _, ok := x.transitive["lockorder.two.y"]; !ok {
+		t.Errorf("two.xThenY transitive set misses lockorder.two.y (through lockY): have %s", idSet(x.transitive))
+	}
+	if len(x.calls) != 1 || x.calls[0].callee.Name() != "two.lockY" ||
+		len(x.calls[0].held) != 1 || x.calls[0].held[0] != "lockorder.two.x" {
+		t.Errorf("two.xThenY held calls: %+v", x.calls)
+	}
+
+	// Balanced defer discipline produces no findings and an empty held
+	// set at exit.
+	if bump := find("guarded.bump"); len(bump.findings) != 0 {
+		t.Errorf("guarded.bump findings: %+v", bump.findings)
+	}
+	if leaky := find("pair.leaky"); len(leaky.findings) == 0 {
+		t.Errorf("pair.leaky produced no exit-imbalance finding")
+	}
+}
+
+func idSet[V any](m map[string]V) string {
+	var out []string
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// TestSpawnSiteEscapeSets pins the spawn-site inventory on the
+// goroutine fixture: captured variables of literal spawns, escape roots
+// and resolved callees of call spawns, and loop attribution.
+func TestSpawnSiteEscapeSets(t *testing.T) {
+	prog := program(t)
+	byFunc := make(map[string][]*spawnSite)
+	for _, s := range prog.spawnSites() {
+		if s.node.Pkg.Rel == fixtureBase+"goroutine" {
+			byFunc[s.node.Name()] = append(byFunc[s.node.Name()], s)
+		}
+	}
+
+	rc := byFunc["racyCapture"]
+	if len(rc) != 1 || rc[0].lit == nil {
+		t.Fatalf("racyCapture: spawn sites %+v, want one literal spawn", rc)
+	}
+	if got := objNames(rc[0].captured); got != "done,n" {
+		t.Errorf("racyCapture captured %q, want \"done,n\"", got)
+	}
+	if rc[0].inLoop {
+		t.Errorf("racyCapture spawn wrongly marked inLoop")
+	}
+
+	lr := byFunc["loopRace"]
+	if len(lr) != 1 || !lr[0].inLoop {
+		t.Fatalf("loopRace spawn not marked inLoop: %+v", lr)
+	}
+	if got := objNames(lr[0].captured); got != "n,wg" {
+		t.Errorf("loopRace captured %q, want \"n,wg\"", got)
+	}
+
+	sc := byFunc["spawnCall"]
+	if len(sc) != 1 || sc[0].callee == nil || sc[0].callee.Name() != "counter.add" {
+		t.Fatalf("spawnCall callee not resolved: %+v", sc)
+	}
+	if got := objNames(sc[0].captured); got != "c" {
+		t.Errorf("spawnCall escape roots %q, want \"c\"", got)
+	}
+}
+
+func objNames(objs []types.Object) string {
+	var out []string
+	for _, o := range objs {
+		out = append(out, o.Name())
+	}
+	return strings.Join(out, ",")
+}

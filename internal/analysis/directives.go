@@ -13,6 +13,7 @@ import (
 //	//proram:public <reason>                       declassify a value
 //	//proram:secret                                mark a struct field as secret
 //	//proram:hotpath <reason>                      demand an allocation-free function
+//	//proram:detround <reason>                     determinism guaranteed by the round barrier
 //
 // An allow or public directive applies to the line it sits on and to the
 // line immediately below it (so it can be written either as a trailing

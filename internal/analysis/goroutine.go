@@ -1,0 +1,472 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GoroutineDiscipline inventories every go statement in the module,
+// computes the captured-variable escape set of each spawn site, and
+// flags shared accesses with no synchronization fact between the two
+// goroutine contexts:
+//
+//   - a variable captured by a spawned function literal that the
+//     literal writes while the spawning goroutine (after the spawn) or
+//     a sibling spawn also touches it — unless both accesses run under
+//     a common lock (held-lock summaries), the literal signals a
+//     captured channel the enclosing access waits on (send/close before
+//     receive, Done before Wait), or the enclosing side only reads
+//     after such a join;
+//
+//   - a spawn inside a loop whose literal writes a variable declared
+//     outside the loop: the iterations race with each other even if the
+//     spawner never touches the variable again;
+//
+//   - for `go v.method()` spawns, a post-spawn unlocked write by the
+//     spawner to the escaped receiver/argument object, unless the write
+//     holds a lock the spawned callee (transitively) acquires too.
+//
+// "After the spawn" is source order — a sound happens-before for
+// straight-line code and the conventional layout (spawn, then join,
+// then read). Method-call receivers count as reads, so a
+// WaitGroup-joined worker pool mutating its own receiver stays quiet.
+func GoroutineDiscipline() *Pass {
+	p := &Pass{
+		Name: "goroutinediscipline",
+		Doc:  "flag unsynchronized writes to variables shared across goroutine spawn sites",
+	}
+	p.Run = func(u *Unit) {
+		for _, site := range u.Prog.spawnSites() {
+			if site.node.Pkg != u.Pkg {
+				continue
+			}
+			checkSpawnSite(u, site)
+		}
+	}
+	return p
+}
+
+// spawnSite is one go statement with its escape set.
+type spawnSite struct {
+	node *CGNode     // enclosing declared function
+	stmt *ast.GoStmt // the spawn
+	lit  *ast.FuncLit
+	// callee is the resolved spawned function for `go f(...)` /
+	// `go v.m(...)` spawns; nil for literals and unresolved values.
+	callee *CGNode
+	// captured is the escape set, sorted by name: for literals, the
+	// enclosing function's variables the body references; for calls,
+	// the root objects of the receiver and arguments.
+	captured []types.Object
+	// inLoop is set when the go statement sits inside a for/range body
+	// of the enclosing function; loopPos/loopEnd bound that loop.
+	inLoop           bool
+	loopPos, loopEnd token.Pos
+}
+
+// spawnSites builds (once) the spawn-site inventory of the whole
+// module, in call-graph node order.
+func (p *Program) spawnSites() []*spawnSite {
+	p.goOnce.Do(func() {
+		for _, n := range p.CallGraph().Nodes {
+			p.spawns = append(p.spawns, collectSpawnSites(p, n)...)
+		}
+	})
+	return p.spawns
+}
+
+func collectSpawnSites(prog *Program, n *CGNode) []*spawnSite {
+	var out []*spawnSite
+	var loops []ast.Node
+	var walk func(x ast.Node) bool
+	walk = func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, x)
+			switch s := x.(type) {
+			case *ast.ForStmt:
+				ast.Inspect(s.Body, walk)
+			case *ast.RangeStmt:
+				ast.Inspect(s.Body, walk)
+			}
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.GoStmt:
+			site := &spawnSite{node: n, stmt: x}
+			if len(loops) > 0 {
+				inner := loops[len(loops)-1]
+				site.inLoop, site.loopPos, site.loopEnd = true, inner.Pos(), inner.End()
+			}
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				site.lit = lit
+				site.captured = capturedVars(n, lit)
+			} else {
+				site.callee = prog.CallGraph().resolveCall(n.Pkg, x.Call)
+				site.captured = escapedRoots(n.Pkg.Info, x.Call)
+			}
+			out = append(out, site)
+		}
+		return true
+	}
+	ast.Inspect(n.Decl.Body, walk)
+	return out
+}
+
+// capturedVars returns the variables referenced by the literal's body
+// that are declared in the enclosing function outside the literal —
+// the spawn's shared state.
+func capturedVars(n *CGNode, lit *ast.FuncLit) []types.Object {
+	seen := make(map[types.Object]bool)
+	var out []types.Object
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := n.Pkg.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= n.Decl.Pos() && v.Pos() < lit.Pos() {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// escapedRoots returns the root objects the call hands to the spawned
+// goroutine: its receiver and argument bases.
+func escapedRoots(info *types.Info, call *ast.CallExpr) []types.Object {
+	seen := make(map[types.Object]bool)
+	var out []types.Object
+	add := func(x ast.Expr) {
+		if obj := rootObject(info, x); obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		add(sel.X)
+	}
+	for _, a := range call.Args {
+		add(a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// varAccess is one read or write of a tracked object within a context.
+type varAccess struct {
+	obj   types.Object
+	pos   token.Pos
+	write bool
+	held  []string // locks held at the access (sorted)
+}
+
+// checkSpawnSite analyzes one spawn against its enclosing function.
+func checkSpawnSite(u *Unit, site *spawnSite) {
+	if site.lit != nil {
+		checkLiteralSpawn(u, site)
+		return
+	}
+	checkCallSpawn(u, site)
+}
+
+func checkLiteralSpawn(u *Unit, site *spawnSite) {
+	prog, n := u.Prog, site.node
+	tracked := make(map[types.Object]bool, len(site.captured))
+	for _, obj := range site.captured {
+		tracked[obj] = true
+	}
+	litLocks := analyzeBodyLocks(prog, n.Pkg, site.lit.Body)
+	litAcc := collectAccesses(n.Pkg.Info, site.lit.Body, tracked, litLocks.heldAt, nil)
+
+	enclosing := prog.lockSummaries().byFunc[n]
+	otherLits := map[*ast.FuncLit]bool{site.lit: true}
+	var siblingAcc []varAccess
+	for _, sib := range prog.spawnSites() {
+		if sib.node != n || sib.lit == nil || sib == site {
+			continue
+		}
+		otherLits[sib.lit] = true
+		sl := analyzeBodyLocks(prog, n.Pkg, sib.lit.Body)
+		siblingAcc = append(siblingAcc, collectAccesses(n.Pkg.Info, sib.lit.Body, tracked, sl.heldAt, nil)...)
+	}
+	encAcc := collectAccesses(n.Pkg.Info, n.Decl.Body, tracked, enclosing.heldAt, otherLits)
+
+	joins := collectJoins(site)
+
+	for _, obj := range site.captured {
+		reported := false
+		// The loop self-race: one go statement in a loop is many
+		// goroutines; a write to anything declared outside the loop
+		// races with the sibling iterations.
+		if site.inLoop {
+			for _, a := range litAcc {
+				if a.obj == obj && a.write && len(a.held) == 0 &&
+					!(obj.Pos() >= site.loopPos && obj.Pos() < site.loopEnd) {
+					u.Reportf(a.pos, "goroutines spawned in a loop all write captured variable %q (declared outside the loop) with no lock held (data race between iterations)", obj.Name())
+					reported = true
+					break
+				}
+			}
+		}
+		for _, a := range litAcc {
+			if a.obj != obj || reported {
+				continue
+			}
+			for _, b := range append(encAccAfter(encAcc, obj, site.stmt.End()), siblingsFor(siblingAcc, obj)...) {
+				if !a.write && !b.write {
+					continue
+				}
+				if commonLock(a.held, b.held) {
+					continue
+				}
+				if joins.ordered(b) {
+					continue
+				}
+				w := a
+				if !w.write {
+					w = b
+				}
+				u.Reportf(w.pos, "unsynchronized write to %q, shared with the goroutine spawned at %s: the other goroutine touches it at %s with no common lock, channel join or WaitGroup.Wait ordering (data race)",
+					obj.Name(), prog.relPosition(site.stmt.Pos()), prog.relPosition(otherPos(w, a, b)))
+				reported = true
+				break
+			}
+		}
+	}
+}
+
+func encAccAfter(acc []varAccess, obj types.Object, after token.Pos) []varAccess {
+	var out []varAccess
+	for _, a := range acc {
+		if a.obj == obj && a.pos > after {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func siblingsFor(acc []varAccess, obj types.Object) []varAccess {
+	var out []varAccess
+	for _, a := range acc {
+		if a.obj == obj {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func otherPos(w, a, b varAccess) token.Pos {
+	if w.pos == a.pos {
+		return b.pos
+	}
+	return a.pos
+}
+
+func commonLock(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spawnJoins is the synchronization-fact index for one literal spawn:
+// positions in the enclosing body after which accesses are ordered
+// behind the goroutine's completion signal.
+type spawnJoins struct {
+	waitPos []token.Pos // first receive on a signaled channel / Wait on a Done'd WaitGroup
+}
+
+func (j spawnJoins) ordered(b varAccess) bool {
+	for _, p := range j.waitPos {
+		if b.pos > p {
+			return true
+		}
+	}
+	return false
+}
+
+// collectJoins matches completion signals inside the literal (send or
+// close on a captured channel, WaitGroup.Done — deferred or not)
+// against the corresponding join in the enclosing body (a receive on
+// that channel, Wait on that WaitGroup).
+func collectJoins(site *spawnSite) spawnJoins {
+	info := site.node.Pkg.Info
+	signaled := make(map[types.Object]bool)
+	ast.Inspect(site.lit.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.SendStmt:
+			if obj := rootObject(info, x.Chan); obj != nil {
+				signaled[obj] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(x.Args) == 1 {
+					if obj := rootObject(info, x.Args[0]); obj != nil {
+						signaled[obj] = true
+					}
+				}
+			}
+			if op, ok := classifySyncOp(info, x); ok && op.typ == "WaitGroup" && op.method == "Done" {
+				if obj := rootObject(info, op.recv); obj != nil {
+					signaled[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	var joins spawnJoins
+	if len(signaled) == 0 {
+		return joins
+	}
+	ast.Inspect(site.node.Decl.Body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit == site.lit {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if obj := rootObject(info, x.X); obj != nil && signaled[obj] {
+					joins.waitPos = append(joins.waitPos, x.End())
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := rootObject(info, x.X); obj != nil && signaled[obj] && isChanType(info, x.X) {
+				joins.waitPos = append(joins.waitPos, x.Pos())
+			}
+		case *ast.CallExpr:
+			if op, ok := classifySyncOp(info, x); ok && op.typ == "WaitGroup" && op.method == "Wait" {
+				if obj := rootObject(info, op.recv); obj != nil && signaled[obj] {
+					joins.waitPos = append(joins.waitPos, x.End())
+				}
+			}
+		}
+		return true
+	})
+	return joins
+}
+
+// checkCallSpawn flags post-spawn unlocked writes to objects handed to
+// a spawned method/function, unless the write holds a lock the callee
+// transitively acquires as well.
+func checkCallSpawn(u *Unit, site *spawnSite) {
+	prog, n := u.Prog, site.node
+	tracked := make(map[types.Object]bool, len(site.captured))
+	for _, obj := range site.captured {
+		tracked[obj] = true
+	}
+	if len(tracked) == 0 {
+		return
+	}
+	var calleeLocks map[string]token.Pos
+	calleeName := "the spawned function"
+	if site.callee != nil {
+		calleeLocks = prog.lockSummaries().byFunc[site.callee].transitive
+		calleeName = site.callee.Name()
+	}
+	enclosing := prog.lockSummaries().byFunc[n]
+	for _, a := range collectAccesses(n.Pkg.Info, n.Decl.Body, tracked, enclosing.heldAt, nil) {
+		if !a.write || a.pos <= site.stmt.End() {
+			continue
+		}
+		shared := false
+		for _, h := range a.held {
+			if _, ok := calleeLocks[baseLockID(h)]; ok {
+				shared = true
+				break
+			}
+		}
+		if shared {
+			continue
+		}
+		u.Reportf(a.pos, "write to %q after it escaped to %s (go statement at %s) holds no lock the goroutine also takes (data race)",
+			a.obj.Name(), calleeName, prog.relPosition(site.stmt.Pos()))
+	}
+}
+
+// collectAccesses gathers reads and writes of the tracked objects in a
+// body. Writes are assignment left-hand roots and inc/dec operands;
+// everything else — including method-call receivers — is a read.
+// heldAt supplies the lock set of the containing CFG node; skipLits
+// excludes sibling spawn literals (they are their own context).
+func collectAccesses(info *types.Info, body *ast.BlockStmt, tracked map[types.Object]bool, heldAt map[ast.Node][]string, skipLits map[*ast.FuncLit]bool) []varAccess {
+	writes := make(map[*ast.Ident]bool)
+	var acc []varAccess
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if skipLits[x] {
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				if id := rootIdent(l); id != nil {
+					writes[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := rootIdent(x.X); id != nil {
+				writes[id] = true
+			}
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if obj == nil || !tracked[obj] {
+				return true
+			}
+			acc = append(acc, varAccess{obj: obj, pos: x.Pos(), write: writes[x], held: heldFor(heldAt, x.Pos())})
+		}
+		return true
+	})
+	return acc
+}
+
+// rootIdent peels a written expression (x.f, x[i], *x) to its base
+// identifier.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := x.(type) {
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.Ident:
+			return e
+		default:
+			return nil
+		}
+	}
+}
+
+// heldFor finds the lock set of the innermost CFG node containing pos.
+func heldFor(heldAt map[ast.Node][]string, pos token.Pos) []string {
+	var best ast.Node
+	var held []string
+	//proram:allow maporder innermost-span selection; nodes with identical spans sit in the same block and share a held set
+	for n, h := range heldAt {
+		if n.Pos() <= pos && pos <= n.End() {
+			if best == nil || (n.Pos() >= best.Pos() && n.End() <= best.End()) {
+				best, held = n, h
+			}
+		}
+	}
+	return held
+}

@@ -54,6 +54,10 @@ type Program struct {
 	sums     *summaries
 	allocOne sync.Once
 	allocs   *allocSummaries
+	lockOnce sync.Once
+	locks    *lockSummaries
+	goOnce   sync.Once
+	spawns   []*spawnSite
 }
 
 // relPosition renders a position module-relative with forward slashes,

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"sync"
+)
+
+// LockOrder is the deadlock-discipline pass. From the per-function
+// held-lock summaries (locksummary.go) it derives two finding families:
+//
+//   - imbalance: a CFG path whose held set depends on the branch taken,
+//     a path that exits with a lock still held (net of deferred
+//     unlocks), an unlock of something not held, a re-acquisition of a
+//     held mutex (sync mutexes are not reentrant), and sync.Cond.Wait
+//     with nothing held;
+//
+//   - ordering: a module-wide acquisition graph with an edge A→B for
+//     every site that acquires B while holding A — locally, or through
+//     a resolved call chain whose callee (transitively) acquires B.
+//     Every edge that participates in a cycle is reported: two
+//     goroutines taking the cycle's locks in different orders can
+//     deadlock.
+//
+// Lock identities unify by type ("Frontend.mu" on any two frontends),
+// which is the right granularity for ordering discipline: a cycle
+// between two instances of the same lock field is still a real
+// AB/BA hazard unless the instances are globally ordered, which this
+// analysis cannot see — justify those with //proram:allow lockorder.
+// Function literals are not analyzed (they run at an unknown time under
+// an unknown held set); TryLock is ignored.
+func LockOrder() *Pass {
+	var once sync.Once
+	var perPkg map[*Package][]lockFinding
+	p := &Pass{
+		Name: "lockorder",
+		Doc:  "flag lock/unlock imbalance on any CFG path and lock-acquisition-order cycles (interprocedural)",
+	}
+	p.Run = func(u *Unit) {
+		once.Do(func() { perPkg = lockOrderFindings(u.Prog) })
+		for _, f := range perPkg[u.Pkg] {
+			u.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return p
+}
+
+// lockEdge is one acquisition-order edge: to is acquired while from is
+// held. The first site (in call-graph node order) represents the edge.
+type lockEdge struct {
+	from, to string
+	pkg      *Package
+	pos      token.Pos
+	via      string // callee chain for call-derived edges, "" for local
+}
+
+func lockOrderFindings(prog *Program) map[*Package][]lockFinding {
+	sums := prog.lockSummaries()
+	out := make(map[*Package][]lockFinding)
+	add := func(f lockFinding) { out[f.pkg] = append(out[f.pkg], f) }
+
+	edges := make(map[[2]string]*lockEdge)
+	addEdge := func(e *lockEdge) {
+		key := [2]string{e.from, e.to}
+		if _, ok := edges[key]; !ok {
+			edges[key] = e
+		}
+	}
+
+	for _, n := range prog.CallGraph().Nodes {
+		sum := sums.byFunc[n]
+		for _, f := range sum.findings {
+			add(f)
+		}
+		for _, a := range sum.acquires {
+			for _, h := range a.heldBefore {
+				// Same-identity re-acquisition is the analyzer's own
+				// self-deadlock finding, not an ordering edge.
+				if baseLockID(h) == a.base {
+					continue
+				}
+				addEdge(&lockEdge{from: baseLockID(h), to: a.base, pkg: n.Pkg, pos: a.pos})
+			}
+		}
+		for _, c := range sum.calls {
+			cs := sums.byFunc[c.callee]
+			ids := make([]string, 0, len(cs.transitive))
+			//proram:allow maporder keys are collected then sorted before use
+			for id := range cs.transitive {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, h := range c.held {
+				hb := baseLockID(h)
+				for _, id := range ids {
+					if id == hb {
+						add(lockFinding{pkg: n.Pkg, pos: c.pos,
+							msg: "call to " + c.callee.Name() + " (re)acquires " + id +
+								" (at " + prog.relPosition(cs.transitive[id]) + ") while " + id +
+								" is already held; sync mutexes are not reentrant (guaranteed self-deadlock)"})
+						continue
+					}
+					addEdge(&lockEdge{from: hb, to: id, pkg: n.Pkg, pos: c.pos, via: c.callee.Name()})
+				}
+			}
+		}
+	}
+
+	for _, e := range cyclicEdges(edges) {
+		msg := "acquiring " + e.to + " while holding " + e.from
+		if e.via != "" {
+			msg += " (through the call to " + e.via + ")"
+		}
+		msg += " participates in a lock-order cycle; another goroutine taking these locks in the opposite order deadlocks"
+		add(lockFinding{pkg: e.pkg, pos: e.pos, msg: msg})
+	}
+	return out
+}
+
+// baseLockID strips the read-acquisition marker so ordering unifies
+// read and write modes of the same mutex.
+func baseLockID(id string) string {
+	if len(id) > 3 && id[len(id)-3:] == "(R)" {
+		return id[:len(id)-3]
+	}
+	return id
+}
+
+// cyclicEdges returns, deterministically ordered, every edge whose
+// endpoints lie in the same strongly connected component of the
+// acquisition graph (self-edges never occur: same-identity
+// re-acquisition is reported as self-deadlock instead).
+func cyclicEdges(edges map[[2]string]*lockEdge) []*lockEdge {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	//proram:allow maporder adjacency lists and node sets are sorted below before use
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+		nodes[key[0]], nodes[key[1]] = true, true
+	}
+	names := make([]string, 0, len(nodes))
+	//proram:allow maporder keys are collected then sorted before use
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	//proram:allow maporder each adjacency list is sorted independently; order across lists is irrelevant
+	for _, vs := range adj {
+		sort.Strings(vs)
+	}
+
+	// Tarjan over identity strings.
+	index := make(map[string]int)
+	lowlink := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, ncomp := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				lowlink[v] = min(lowlink[v], lowlink[w])
+			} else if onStack[w] {
+				lowlink[v] = min(lowlink[v], index[w])
+			}
+		}
+		if lowlink[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, v := range names {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+
+	var keys [][2]string
+	//proram:allow maporder keys are collected then sorted before use
+	for key := range edges {
+		if comp[key[0]] == comp[key[1]] {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]*lockEdge, len(keys))
+	for i, key := range keys {
+		out[i] = edges[key]
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file computes per-function held-lock summaries: which sync
+// primitives each function acquires (and with what already held), which
+// module-local calls it makes under a lock, and whether any CFG path
+// leaves its lock set imbalanced. The lockorder pass turns the
+// summaries into a module-wide acquisition graph and deadlock findings;
+// the goroutinediscipline pass uses the per-statement held sets to
+// decide whether two goroutine contexts touch a shared variable under a
+// common lock.
+//
+// The abstraction is a held multiset of lock identities (see
+// lockIdentity), propagated through the existing funcCFG in a forward
+// fixpoint. Acquires append, releases remove the most recent matching
+// entry, a deferred unlock cancels at every exit, and TryLock is
+// ignored entirely (its effect is conditional on a value this analysis
+// does not track). Function literals are analyzed as independent bodies
+// with an empty entry set — a literal runs at an unknown time, usually
+// on another goroutine, so inheriting the enclosing held set would be
+// wrong in exactly the cases that matter.
+
+// lockAcquire is one Lock/RLock site with the set already held there.
+type lockAcquire struct {
+	id         string // base identity; read acquisitions carry "(R)"
+	base       string // identity without the read marker
+	read       bool
+	pos        token.Pos
+	heldBefore []string
+}
+
+// heldCall is one resolved module-local call made with locks held.
+type heldCall struct {
+	callee *CGNode
+	pos    token.Pos
+	held   []string
+}
+
+// lockFinding is one imbalance/misuse diagnostic, attributed to the
+// package that owns the position.
+type lockFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// bodyLocks is the result of analyzing one body (declared function or
+// function literal).
+type bodyLocks struct {
+	acquires []lockAcquire
+	calls    []heldCall
+	findings []lockFinding
+
+	// heldAt maps every CFG node (statement or condition) to the lock
+	// set held when it begins executing, sorted. Nodes on unreachable
+	// blocks are absent.
+	heldAt map[ast.Node][]string
+}
+
+// lockSummary is bodyLocks for a declared function plus the transitive
+// closure over its resolved callees.
+type lockSummary struct {
+	node *CGNode
+	bodyLocks
+
+	// transitive is every lock identity acquired by this function or
+	// anything it (transitively) calls, with one representative
+	// acquisition position.
+	transitive map[string]token.Pos
+}
+
+type lockSummaries struct {
+	byFunc map[*CGNode]*lockSummary
+}
+
+// lockSummaries builds (once) the held-lock summary of every declared
+// function, then closes the acquired-lock sets bottom-up over the call
+// graph (iterating within each SCC until stable, so recursion
+// converges).
+func (p *Program) lockSummaries() *lockSummaries {
+	p.lockOnce.Do(func() {
+		cg := p.CallGraph()
+		ls := &lockSummaries{byFunc: make(map[*CGNode]*lockSummary, len(cg.Nodes))}
+		for _, n := range cg.Nodes {
+			ls.byFunc[n] = &lockSummary{
+				node:       n,
+				bodyLocks:  analyzeBodyLocks(p, n.Pkg, n.Decl.Body),
+				transitive: make(map[string]token.Pos),
+			}
+		}
+		for _, comp := range cg.SCCs {
+			for changed := true; changed; {
+				changed = false
+				for _, n := range comp {
+					sum := ls.byFunc[n]
+					for _, a := range sum.acquires {
+						if _, ok := sum.transitive[a.base]; !ok {
+							sum.transitive[a.base] = a.pos
+							changed = true
+						}
+					}
+					for _, e := range n.Callees {
+						cs := ls.byFunc[e.Callee]
+						if cs == nil {
+							continue
+						}
+						//proram:allow maporder first-wins insertion per distinct key; the inserted value is a function of the key
+						for id, pos := range cs.transitive {
+							if _, ok := sum.transitive[id]; !ok {
+								sum.transitive[id] = pos
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+		p.locks = ls
+	})
+	return p.locks
+}
+
+// lockState is the per-block abstract state: the held multiset in
+// acquisition order.
+type lockState []string
+
+func (s lockState) clone() lockState { return append(lockState(nil), s...) }
+
+func (s lockState) equal(o lockState) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func heldSorted(s lockState) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}
+
+func renderHeld(s []string) string {
+	if len(s) == 0 {
+		return "nothing"
+	}
+	return "{" + strings.Join(s, ", ") + "}"
+}
+
+// analyzeBodyLocks runs the held-lock fixpoint over one body.
+func analyzeBodyLocks(prog *Program, pkg *Package, body *ast.BlockStmt) bodyLocks {
+	la := &lockAnalyzer{
+		prog: prog,
+		pkg:  pkg,
+		out: bodyLocks{
+			heldAt: make(map[ast.Node][]string),
+		},
+		in: make(map[*cfgBlock]lockState),
+	}
+	g := buildCFG(pkg.Info, body)
+	la.collectDefers(body)
+	la.run(g)
+	return la.out
+}
+
+type lockAnalyzer struct {
+	prog *Program
+	pkg  *Package
+	out  bodyLocks
+
+	in       map[*cfgBlock]lockState
+	deferred []string // identities released by deferred unlocks
+	seen     map[string]bool
+}
+
+func (la *lockAnalyzer) finding(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d\x00%s", pos, msg)
+	if la.seen == nil {
+		la.seen = make(map[string]bool)
+	}
+	if la.seen[key] {
+		return
+	}
+	la.seen[key] = true
+	la.out.findings = append(la.out.findings, lockFinding{pkg: la.pkg, pos: pos, msg: msg})
+}
+
+// collectDefers gathers deferred unlock identities from the body
+// (skipping nested function literals — their defers run at the
+// literal's exit, not ours).
+func (la *lockAnalyzer) collectDefers(body *ast.BlockStmt) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		d, ok := x.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if op, ok := classifySyncOp(la.pkg.Info, d.Call); ok {
+			switch op.method {
+			case "Unlock", "RUnlock":
+				id := lockIdentity(la.prog, la.pkg, op.recv)
+				if op.method == "RUnlock" {
+					id += "(R)"
+				}
+				la.deferred = append(la.deferred, id)
+			}
+		}
+		return false
+	})
+}
+
+// run is the forward worklist fixpoint. The first in-state to reach a
+// block wins; a later, different in-state is an imbalance finding (the
+// held set depends on the path taken) and is not re-propagated, which
+// keeps termination trivial.
+func (la *lockAnalyzer) run(g *funcCFG) {
+	la.in[g.entry] = lockState{}
+	work := []*cfgBlock{g.entry}
+	visited := make(map[*cfgBlock]bool)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if visited[b] {
+			continue
+		}
+		visited[b] = true
+		st := la.in[b].clone()
+		for _, n := range b.nodes {
+			la.out.heldAt[n] = heldSorted(st)
+			st = la.transfer(st, n)
+		}
+		if len(b.succs) == 0 {
+			la.checkExit(b, st)
+			continue
+		}
+		for _, s := range b.succs {
+			if prev, ok := la.in[s]; ok {
+				if !prev.equal(st) && len(s.nodes) > 0 {
+					la.finding(s.nodes[0].Pos(),
+						"lock set depends on the path taken: one path reaches this point holding %s, another holding %s",
+						renderHeld(heldSorted(prev)), renderHeld(heldSorted(st)))
+				}
+				if !visited[s] {
+					work = append(work, s)
+				}
+				continue
+			}
+			la.in[s] = st.clone()
+			work = append(work, s)
+		}
+	}
+}
+
+// checkExit flags locks still held at a normal exit after deferred
+// unlocks cancel. Panic-terminated blocks are failure paths and exempt.
+func (la *lockAnalyzer) checkExit(b *cfgBlock, st lockState) {
+	if b.panics {
+		return
+	}
+	left := st.clone()
+	for _, id := range la.deferred {
+		for i := len(left) - 1; i >= 0; i-- {
+			if left[i] == id {
+				left = append(left[:i], left[i+1:]...)
+				break
+			}
+		}
+	}
+	if len(left) == 0 {
+		return
+	}
+	pos := token.NoPos
+	if len(b.nodes) > 0 {
+		pos = b.nodes[len(b.nodes)-1].Pos()
+	}
+	if pos == token.NoPos {
+		return
+	}
+	la.finding(pos, "path exits the function still holding %s (missing Unlock)", renderHeld(heldSorted(left)))
+}
+
+// transfer applies one CFG node to the held state: sync operations
+// inside it (in source order), then held-call records for resolved
+// module calls. Function literal bodies and go statements are skipped —
+// neither runs under this goroutine's held set at this point.
+func (la *lockAnalyzer) transfer(st lockState, node ast.Node) lockState {
+	if _, ok := node.(*ast.DeferStmt); ok {
+		return st // deferred effects apply at exit, via collectDefers
+	}
+	ast.Inspect(node, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			st = la.call(st, x)
+		}
+		return true
+	})
+	return st
+}
+
+func (la *lockAnalyzer) call(st lockState, call *ast.CallExpr) lockState {
+	if op, ok := classifySyncOp(la.pkg.Info, call); ok {
+		return la.syncCall(st, call, op)
+	}
+	if callee := la.prog.CallGraph().resolveCall(la.pkg, call); callee != nil && len(st) > 0 {
+		la.out.calls = append(la.out.calls, heldCall{callee: callee, pos: call.Pos(), held: heldSorted(st)})
+	}
+	return st
+}
+
+func (la *lockAnalyzer) syncCall(st lockState, call *ast.CallExpr, op syncOp) lockState {
+	switch op.typ {
+	case "Mutex", "RWMutex":
+	case "Cond":
+		if op.method == "Wait" && len(st) == 0 {
+			la.finding(call.Pos(), "sync.Cond.Wait with no lock held; Wait unlocks c.L, which must be held")
+		}
+		return st
+	default:
+		return st
+	}
+	base := lockIdentity(la.prog, la.pkg, op.recv)
+	switch op.method {
+	case "Lock", "RLock":
+		id, read := base, false
+		if op.method == "RLock" {
+			id, read = base+"(R)", true
+		}
+		for _, h := range st {
+			if h == base || (!read && h == base+"(R)") {
+				la.finding(call.Pos(), "%s of %s while %s is already held on this path; sync mutexes are not reentrant (guaranteed self-deadlock)",
+					op.method, base, h)
+			}
+		}
+		la.out.acquires = append(la.out.acquires, lockAcquire{
+			id: id, base: base, read: read, pos: call.Pos(), heldBefore: heldSorted(st),
+		})
+		return append(st, id)
+	case "Unlock", "RUnlock":
+		id := base
+		if op.method == "RUnlock" {
+			id = base + "(R)"
+		}
+		for i := len(st) - 1; i >= 0; i-- {
+			if st[i] == id {
+				return append(st[:i:i], st[i+1:]...)
+			}
+		}
+		// Tolerate one matching deferred acquisition pattern: an unlock
+		// of something never held on this path is the finding.
+		la.finding(call.Pos(), "%s of %s which is not held on this path", op.method, base)
+		return st
+	}
+	return st
+}

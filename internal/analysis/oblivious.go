@@ -33,15 +33,22 @@ import (
 // len and cap sanitize (block geometry is public by construction), and
 // an explicit //proram:public declassifies at an assignment or sink.
 //
-// The default scope is the trusted controller surface: internal/oram and
-// internal/stash. Pass explicit module-relative scopes to analyze other
-// packages (the fixture tests do). Summaries are computed over the whole
-// program regardless of scope, so secrets that leave a scoped package
-// through a helper in another package are still tracked back to the
-// scoped caller.
+// A fourth family covers concurrency: secret-derived values selecting
+// which channel is sent on or received from, what a go statement runs,
+// or which lock is acquired are scheduling sinks — contention and
+// interleaving are observable off-chip as timing, exactly like a
+// secret-derived address.
+//
+// The default scope is the trusted controller surface: internal/oram,
+// internal/stash, plus the concurrent frontend internal/shard and the
+// memory model internal/dram/banked. Pass explicit module-relative
+// scopes to analyze other packages (the fixture tests do). Summaries
+// are computed over the whole program regardless of scope, so secrets
+// that leave a scoped package through a helper in another package are
+// still tracked back to the scoped caller.
 func Oblivious(scopes ...string) *Pass {
 	if len(scopes) == 0 {
-		scopes = []string{"internal/oram", "internal/stash"}
+		scopes = []string{"internal/oram", "internal/stash", "internal/shard", "internal/dram/banked"}
 	}
 	p := &Pass{
 		Name: "oblivious",

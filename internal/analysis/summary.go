@@ -238,7 +238,7 @@ func (e *taintEnv) propagate() bool {
 		case *ast.RangeStmt:
 			m := e.exprMask(x.X)
 			if x.Key != nil {
-				e.mark(x.Key, m, x, false)
+				e.mark(x.Key, e.rangeKeyMask(x.X, m), x, false)
 			}
 			if x.Value != nil {
 				e.mark(x.Value, m, x, false)
@@ -307,6 +307,27 @@ peel:
 			}
 		}
 	}
+}
+
+// rangeKeyMask refines the taint of a range key: over a slice, array,
+// pointer-to-array or string the keys are the integers 0..len-1 —
+// geometry, public by the same argument that sanitizes len and cap.
+// Map keys and channel elements are data and carry the container's
+// taint.
+func (e *taintEnv) rangeKeyMask(x ast.Expr, m originMask) originMask {
+	tv, ok := e.info().Types[x]
+	if !ok || tv.Type == nil {
+		return m
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	switch t.(type) {
+	case *types.Slice, *types.Array, *types.Basic:
+		return 0
+	}
+	return m
 }
 
 // applyCallEffects models the stores a call performs in the caller's
@@ -478,6 +499,14 @@ func (e *taintEnv) collect() {
 					e.checkIndexSink(e.exprMask(bound), bound.Pos(), "slice bound")
 				}
 			}
+		case *ast.SendStmt:
+			e.checkSchedSink(e.exprMask(x.Chan), x.Chan.Pos(), "channel send target")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				e.checkSchedSink(e.exprMask(x.X), x.X.Pos(), "channel receive source")
+			}
+		case *ast.GoStmt:
+			e.checkSchedSink(e.exprMask(x.Call.Fun), x.Call.Fun.Pos(), "goroutine spawn target")
 		case *ast.CallExpr:
 			e.checkCall(x)
 		}
@@ -595,12 +624,35 @@ func (e *taintEnv) checkIndexSink(m originMask, pos token.Pos, what string) {
 	e.addParamSink(m, what, pos, "")
 }
 
+// checkSchedSink is the scheduling sink: a secret-derived value that
+// decides which channel is touched, whether and what a goroutine runs,
+// or which lock is taken makes the scheduler an observable channel —
+// contention and interleaving are visible off-chip as timing, exactly
+// like a secret-derived memory index.
+func (e *taintEnv) checkSchedSink(m originMask, pos token.Pos, what string) {
+	if m == 0 || e.declassified(pos) {
+		return
+	}
+	if m&secretOrigin != 0 {
+		e.report(pos, fmt.Sprintf("%s depends on secret block payload bytes; secret-dependent scheduling is observable as timing and interleaving (declassify with //proram:public only if the value is public by protocol)", what))
+	}
+	e.addParamSink(m, what, pos, "")
+}
+
 // checkCall handles the call-shaped sinks: observability emissions,
-// sinks inherited from a resolved callee's summary, and rng
-// construction sites for the seedplumbing pass.
+// sinks inherited from a resolved callee's summary, lock-acquisition
+// scheduling sinks, and rng construction sites for the seedplumbing
+// pass.
 func (e *taintEnv) checkCall(call *ast.CallExpr) {
 	e.checkObsEmission(call)
 	e.checkRNGSite(call)
+
+	if op, ok := classifySyncOp(e.info(), call); ok {
+		switch op.method {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			e.checkSchedSink(e.exprMask(op.recv), op.recv.Pos(), "lock acquisition target")
+		}
+	}
 
 	callee := e.resolveCallee(call)
 	if callee == nil || e.s.isObsPkg(callee.Fn.Pkg()) {

@@ -1,0 +1,119 @@
+// Package concdet exercises the concdeterminism pass: multi-case
+// selects, fan-in receives, spawn-order-dependent sends, and the
+// //proram:detround discipline (verified against a fixture-local round
+// driver — the test passes this package's driver as the root).
+package concdet
+
+// driver is the fixture's round driver root.
+func driver(results chan int, parts int) []int {
+	return gather(results, parts)
+}
+
+// gather sits under the driver, so its fan-in receive legitimately
+// carries a detround justification: quiet.
+func gather(results chan int, parts int) []int {
+	out := make([]int, parts)
+	for i := 0; i < parts; i++ {
+		//proram:detround results carry their slot and are reindexed into slot order before anything observable happens
+		r := <-results
+		out[r%parts] = r
+	}
+	return out
+}
+
+// stray has the same shape but is not reachable from the driver: the
+// round-barrier claim is false and is itself the finding.
+func stray(results chan int, parts int) int {
+	total := 0
+	for i := 0; i < parts; i++ {
+		//proram:detround pretends to be under the barrier
+		total += <-results // want `//proram:detround on code in stray, which is not reachable from a round driver`
+	}
+	return total
+}
+
+// gatherBare is under the driver but gives no justification.
+func gatherBare(results chan int, parts int) int {
+	total := 0
+	for i := 0; i < parts; i++ {
+		//proram:detround
+		total += <-results // want `//proram:detround needs a one-line reason`
+	}
+	return total
+}
+
+// tidy justifies nothing: the directive is stale.
+func tidy() int {
+	//proram:detround nothing here is scheduling-ordered // want `//proram:detround marks no concurrent-determinism finding; delete the stale directive`
+	return 1
+}
+
+// pick is a two-way select: when both are ready the runtime chooses
+// pseudo-randomly.
+func pick(a, b chan int) int {
+	select { // want `select with 2 communication cases: when several are ready the runtime picks pseudo-randomly`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// tryRecv is select-with-default: one communication case, the
+// sequential determinism pass's territory, quiet here.
+func tryRecv(c chan int) (int, bool) {
+	select {
+	case v := <-c:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// fanIn ranges over a multi-sender channel: arrival order is
+// scheduling.
+func fanIn(results chan int) int {
+	total := 0
+	for r := range results { // want `range over a channel is unordered fan-in`
+		total += r
+	}
+	return total
+}
+
+// scatter spawns senders in a loop: their completion order decides the
+// receive order on the shared channel.
+func scatter(work []int) chan int {
+	out := make(chan int)
+	for _, w := range work {
+		go func(w int) { // want `goroutines spawned in a loop send on a shared channel: completion order, and so the receive order, is scheduling-dependent`
+			out <- w * w
+		}(w)
+	}
+	return out
+}
+
+// single receives from a single-sender channel: a different argument
+// than the round barrier, so it uses allow rather than detround.
+func single(c chan int, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		//proram:allow concdeterminism fixture: single sender, arrival order is the send order
+		total += <-c
+	}
+	return total
+}
+
+// driverUse keeps the fixture self-contained: every root shape is
+// invoked somewhere.
+func driverUse() {
+	c := make(chan int, 1)
+	c <- 1
+	_ = gatherBare(c, 1)
+	_ = stray(c, 0)
+	_ = tidy()
+	_ = fanIn(scatter([]int{1}))
+	_, _ = tryRecv(c)
+	_ = single(c, 0)
+	_ = pick(c, c)
+	_ = driver(c, 0)
+}

@@ -1,0 +1,130 @@
+// Package goroutine exercises the goroutinediscipline pass: captured
+// writes racing with the spawner, loop self-races, call-spawn escapes,
+// and the synchronization facts (common lock, channel join,
+// WaitGroup.Wait) that make the conventional shapes quiet.
+package goroutine
+
+import "sync"
+
+// racyCapture reads the captured variable before the channel join: the
+// goroutine's write races with the spawner's read.
+func racyCapture() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 42 // want `unsynchronized write to "n", shared with the goroutine spawned at .*: the other goroutine touches it at .* with no common lock, channel join or WaitGroup\.Wait ordering \(data race\)`
+		done <- struct{}{}
+	}()
+	m := n
+	<-done
+	return m
+}
+
+// joined reads the captured variable only after receiving the
+// completion signal: ordered, quiet.
+func joined() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 42
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// locked guards both sides with the same mutex: quiet.
+func locked() int {
+	var mu sync.Mutex
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		n = 1
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	m := n
+	mu.Unlock()
+	<-done
+	return m
+}
+
+// pooled is the conventional WaitGroup pool: the counter is mutated
+// under a lock and read only after Wait. Quiet.
+func pooled() int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// loopRace spawns writers in a loop with no lock: the iterations race
+// with each other regardless of what the spawner does afterwards.
+func loopRace() int {
+	n := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			n++ // want `goroutines spawned in a loop all write captured variable "n" \(declared outside the loop\) with no lock held \(data race between iterations\)`
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+// counter is the call-spawn target: add mutates the receiver under its
+// own lock.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// spawnCall hands c to a goroutine, then writes it with no lock the
+// goroutine also takes.
+func spawnCall(c *counter) {
+	go c.add()
+	c.n = 7 // want `write to "c" after it escaped to counter\.add \(go statement at .*\) holds no lock the goroutine also takes \(data race\)`
+}
+
+// spawnCallLocked writes under the lock the spawned method takes too:
+// quiet.
+func spawnCallLocked(c *counter) {
+	go c.add()
+	c.mu.Lock()
+	c.n = 7
+	c.mu.Unlock()
+}
+
+// allowed documents a tolerated race: the allow consumes the finding.
+func allowed() bool {
+	flag := false
+	done := make(chan struct{})
+	go func() {
+		//proram:allow goroutinediscipline fixture: monotonic flag, the read side tolerates staleness
+		flag = true
+		close(done)
+	}()
+	v := flag
+	<-done
+	return v
+}

@@ -1,0 +1,134 @@
+// Package lockorder exercises the lock-discipline pass: lock/unlock
+// imbalance on CFG paths, unlocks of something never taken,
+// non-reentrant re-acquisition (direct and through a call), bare
+// Cond.Wait, and AB/BA acquisition-order cycles (local and through a
+// helper).
+package lockorder
+
+import "sync"
+
+// pair holds two mutexes taken in conflicting orders below.
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// ab acquires a then b.
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want `acquiring lockorder\.pair\.b while holding lockorder\.pair\.a participates in a lock-order cycle`
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// ba acquires b then a: with ab above, a classic AB/BA deadlock.
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want `acquiring lockorder\.pair\.a while holding lockorder\.pair\.b participates in a lock-order cycle`
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// leaky forgets the unlock on the early-return path.
+func (p *pair) leaky(x bool) int {
+	p.a.Lock()
+	if x {
+		return 1 // want `path exits the function still holding \{lockorder\.pair\.a\} \(missing Unlock\)`
+	}
+	p.a.Unlock()
+	return 0
+}
+
+// double releases a mutex it no longer holds.
+func (p *pair) double() {
+	p.a.Lock()
+	p.a.Unlock()
+	p.a.Unlock() // want `Unlock of lockorder\.pair\.a which is not held on this path`
+}
+
+// again re-locks a non-reentrant mutex on the same path.
+func (p *pair) again() {
+	p.a.Lock()
+	p.a.Lock() // want `Lock of lockorder\.pair\.a while lockorder\.pair\.a is already held on this path; sync mutexes are not reentrant`
+	p.a.Unlock()
+	p.a.Unlock()
+}
+
+// bareWait calls Cond.Wait without holding the lock it releases.
+func bareWait(c *sync.Cond) {
+	c.Wait() // want `sync\.Cond\.Wait with no lock held; Wait unlocks c\.L, which must be held`
+}
+
+// guarded is the disciplined shape the analyzer must accept.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump is clean: defer pairs with the lock on every path.
+func (g *guarded) bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// nested calls a locking method with the lock already held: the same
+// self-deadlock as again, one call deep.
+func (g *guarded) nested() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bump() // want `call to guarded\.bump \(re\)acquires lockorder\.guarded\.mu \(at .*\) while lockorder\.guarded\.mu is already held`
+}
+
+// two exercises the call-derived ordering edge: xThenY never touches y
+// directly, but its helper does.
+type two struct {
+	x, y sync.Mutex
+	n    int
+}
+
+func (t *two) lockY() {
+	t.y.Lock()
+	t.n++
+	t.y.Unlock()
+}
+
+// xThenY takes y through the helper while holding x.
+func (t *two) xThenY() {
+	t.x.Lock()
+	t.lockY() // want `acquiring lockorder\.two\.y while holding lockorder\.two\.x \(through the call to two\.lockY\) participates in a lock-order cycle`
+	t.x.Unlock()
+}
+
+// yThenX takes x while holding y: closes the cycle with xThenY.
+func (t *two) yThenX() {
+	t.y.Lock()
+	t.x.Lock() // want `acquiring lockorder\.two\.x while holding lockorder\.two\.y participates in a lock-order cycle`
+	t.n++
+	t.x.Unlock()
+	t.y.Unlock()
+}
+
+// cd documents one direction of a cycle as deliberate: the allow
+// consumes the finding on the annotated edge, the opposite direction
+// still reports.
+type cd struct {
+	c, d sync.Mutex
+}
+
+func (q *cd) cd() {
+	q.c.Lock()
+	//proram:allow lockorder fixture: this direction is the documented canonical order
+	q.d.Lock()
+	q.d.Unlock()
+	q.c.Unlock()
+}
+
+func (q *cd) dc() {
+	q.d.Lock()
+	q.c.Lock() // want `acquiring lockorder\.cd\.c while holding lockorder\.cd\.d participates in a lock-order cycle`
+	q.c.Unlock()
+	q.d.Unlock()
+}

@@ -1,0 +1,65 @@
+// Package schedsink exercises the oblivious pass's concurrency sinks:
+// secret-derived values selecting which channel is touched, what a go
+// statement runs, or which lock is taken — plus the range-key
+// refinement (slice indexes are geometry, element values are data).
+package schedsink
+
+import "sync"
+
+// block is the fixture's secret carrier.
+type block struct {
+	//proram:secret fixture payload bytes
+	data []byte
+}
+
+// sendSecretTarget picks the send channel from payload bytes.
+func sendSecretTarget(b block, chans []chan int) {
+	chans[b.data[0]] <- 1 // want `memory index depends on secret block payload bytes` want `channel send target depends on secret block payload bytes`
+}
+
+// recvSecretSource picks the receive channel from payload bytes.
+func recvSecretSource(b block, chans []chan int) int {
+	return <-chans[b.data[1]] // want `memory index depends on secret block payload bytes` want `channel receive source depends on secret block payload bytes`
+}
+
+// spawnSecretTarget picks what the goroutine runs from payload bytes.
+func spawnSecretTarget(b block, fns []func()) {
+	go fns[b.data[2]]() // want `memory index depends on secret block payload bytes` want `goroutine spawn target depends on secret block payload bytes`
+}
+
+// lockSecretTarget picks which lock to contend on from payload bytes.
+func lockSecretTarget(b block, locks []*sync.Mutex) {
+	locks[b.data[3]].Lock()   // want `memory index depends on secret block payload bytes` want `lock acquisition target depends on secret block payload bytes`
+	locks[b.data[3]].Unlock() // want `memory index depends on secret block payload bytes`
+}
+
+// publicSend selects by geometry: len sanitizes, quiet.
+func publicSend(b block, chans []chan int) {
+	chans[len(b.data)%len(chans)] <- 1
+}
+
+// declassifiedSend: the routing bit is public by protocol.
+func declassifiedSend(b block, chans []chan int) {
+	//proram:public fixture: the routing bit is public by protocol
+	chans[b.data[0]&1] <- 1
+}
+
+// rangeIndex: ranging over the secret payload yields public integer
+// indexes — addressing another buffer with them is geometry. Quiet.
+func rangeIndex(b block, out []byte) {
+	for i := range b.data {
+		out[i] = 1
+	}
+}
+
+// rangeValue: the element value carries the payload; branching on it
+// leaks.
+func rangeValue(b block) int {
+	n := 0
+	for _, v := range b.data {
+		if v != 0 { // want `if condition depends on secret block payload bytes`
+			n++
+		}
+	}
+	return n
+}

@@ -466,6 +466,7 @@ func (f *Frontend) runFlush() error {
 func (f *Frontend) collect() []roundResult {
 	byPart := make([]roundResult, len(f.parts))
 	for range f.parts {
+		//proram:detround one result arrives per partition per round and byPart reindexes them into partition order, so completion order never escapes
 		r := <-f.results
 		byPart[r.part] = r
 	}

@@ -14,12 +14,14 @@ type request struct {
 	seq   uint64
 	index uint64 // global block index
 	write bool
-	data  []byte // write payload (admission-owned copy)
-	resp  chan response
+	//proram:secret write payload bytes (admission-owned copy)
+	data []byte
+	resp chan response
 }
 
 // response answers one request. Data is a fresh copy for reads.
 type response struct {
+	//proram:secret plaintext block bytes returned to the caller
 	data []byte
 	err  error
 }
@@ -123,6 +125,7 @@ func (p *partition) Present(local uint64) bool {
 // run is the worker goroutine: one round in, one result out, until the
 // work channel closes.
 func (p *partition) run() {
+	//proram:allow concdeterminism p.work has a single sender (the round driver), so arrival order is the driver's send order
 	for w := range p.work {
 		p.results <- p.execRound(w)
 	}
@@ -196,8 +199,10 @@ func (p *partition) serveCached(req *request, e *list.Element, res *roundResult)
 	res.hits++
 	p.lru.MoveToFront(e)
 	line := e.Value.(*cacheLine)
+	//proram:public prefetch bookkeeping flags track the public access sequence; the line is only container-tainted by its payload bytes
 	if line.prefetched && !line.used {
 		line.used = true
+		//proram:public the local slot index is public address metadata, assigned in first-touch order independent of payload bytes
 		p.store.Ctrl.NotifyPrefetchUse(line.local)
 	}
 	p.finish(req, line, res)

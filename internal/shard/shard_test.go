@@ -114,6 +114,46 @@ func TestReplayByteIdentity(t *testing.T) {
 	}
 }
 
+// TestReplayByteIdentityEdgePartitions backs the //proram:detround
+// justification on Frontend.collect at the partition counts where the
+// round barrier degenerates: a single partition (one receive per round,
+// nothing to reorder) and non-power-of-two counts whose seeded
+// partition maps distribute unevenly. Live run and two independent
+// replays must stay byte-identical in every configuration.
+func TestReplayByteIdentityEdgePartitions(t *testing.T) {
+	for _, parts := range []int{1, 3, 5} {
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			cfg := testConfig(parts)
+			arrivals, liveLog := runLive(t, cfg, 4, 20)
+			log1, stats1, err := Replay(cfg, arrivals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			log2, stats2, err := Replay(cfg, arrivals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, b2 := log1.Bytes(), log2.Bytes()
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("two replays diverge at %d partitions: %d vs %d bytes", parts, len(b1), len(b2))
+			}
+			if !bytes.Equal(liveLog.Bytes(), b1) {
+				t.Fatalf("live run and replay diverge at %d partitions: live %d paths, replay %d paths",
+					parts, len(liveLog.Paths), len(log1.Paths))
+			}
+			if len(log1.Paths) == 0 || len(log1.Shapes) == 0 {
+				t.Fatal("replay recorded no accesses")
+			}
+			if err := stats1.Validate(); err != nil {
+				t.Fatalf("replay stats: %v", err)
+			}
+			if stats1.Cycles != stats2.Cycles || stats1.RealAccesses != stats2.RealAccesses {
+				t.Fatalf("replay stats diverge: %+v vs %+v", stats1, stats2)
+			}
+		})
+	}
+}
+
 // skewedArrivals builds an arrival log whose every request routes to one
 // partition (via the same seeded map the frontend will use).
 func skewedArrivals(t *testing.T, cfg Config, n int) []Arrival {
