@@ -24,6 +24,7 @@ import (
 
 	"proram/internal/exp"
 	"proram/internal/obs"
+	"proram/internal/obs/audit"
 )
 
 func main() {
@@ -37,6 +38,11 @@ func main() {
 		// -bench-out pins a benchmark baseline: the experiment's table as
 		// deterministic JSON (e.g. -exp bench0 -bench-out BENCH_0.json).
 		benchOut = flag.String("bench-out", "", "write the experiment's table as deterministic JSON to this file (single -exp only)")
+		// -audit-out pins the obliviousness-audit baseline: the full
+		// per-configuration report suite as deterministic JSON
+		// (e.g. -exp audit2 -audit-out AUDIT_2.json). Implies -audit.
+		auditOn  = flag.Bool("audit", false, "collect full obliviousness-audit reports from auditing experiments")
+		auditOut = flag.String("audit-out", "", "write the collected audit suite as deterministic JSON to this file (implies -audit)")
 
 		obsOn       = flag.Bool("obs", false, "instrument the simulated systems (metrics, time series, flight recorder)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (implies -obs)")
@@ -53,6 +59,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var suite *audit.Suite
+	if *auditOn || *auditOut != "" {
+		suite = &audit.Suite{}
+	}
 	switch {
 	case *list:
 		for _, id := range exp.IDs() {
@@ -65,26 +75,42 @@ func main() {
 			fatal(fmt.Errorf("-bench-out needs a single -exp, not -all"))
 		}
 		for _, id := range exp.IDs() {
-			if err := runOne(id, *scale, *csv, *out, "", ob.rec); err != nil {
+			if err := runOne(id, *scale, *csv, *out, "", ob.rec, suite); err != nil {
 				fatal(err)
 			}
 		}
 	case *expID != "":
-		if err := runOne(*expID, *scale, *csv, *out, *benchOut, ob.rec); err != nil {
+		if err := runOne(*expID, *scale, *csv, *out, *benchOut, ob.rec, suite); err != nil {
 			fatal(err)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *auditOut != "" {
+		f, err := os.Create(*auditOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := suite.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", *auditOut)
+	}
+	if suite != nil && !suite.Pass() {
+		fatal(fmt.Errorf("obliviousness audit failed (see the audit suite report)"))
+	}
 	if err := ob.finish(); err != nil {
 		fatal(err)
 	}
 }
 
-func runOne(id string, scale float64, csv bool, outDir, benchOut string, rec *obs.Recorder) error {
+func runOne(id string, scale float64, csv bool, outDir, benchOut string, rec *obs.Recorder, suite *audit.Suite) error {
 	start := time.Now() //proram:allow determinism wall-clock timing is reporting-only and never feeds the simulation
-	tb, err := exp.Run(id, exp.Options{Scale: scale, Obs: rec})
+	tb, err := exp.Run(id, exp.Options{Scale: scale, Obs: rec, Audit: suite})
 	if err != nil {
 		return err
 	}

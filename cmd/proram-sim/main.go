@@ -7,10 +7,18 @@
 //	proram-sim -workload synthetic -locality 0.8 -ops 500000 -memory dram
 //	proram-sim -workload ycsb -scheme static -z 4 -stash 50
 //	proram-sim -workload ycsb -partitions 8 -clients 16
+//	proram-sim -workload ycsb -partitions 4 -audit -audit-out audit.json
+//	proram-sim -workload ycsb -partitions 4 -audit -leaky drop-dummies
 //
 // With -partitions > 1 the workload is replayed through the partitioned
 // frontend's closed-loop scheduler (see internal/shard) instead of the
 // core timing model: the report shows rounds, padding and the makespan.
+//
+// With -audit the obliviousness auditor (internal/obs/audit) taps the
+// physical access stream and the process exits nonzero when any
+// statistical leak test fails. -leaky injects a deliberate,
+// test-only leak (suppressed round padding or a biased leaf remap) that
+// the auditor must flag — the CI negative controls.
 //
 // Workloads: synthetic, ycsb, tpcc, or any Splash2/SPEC06 benchmark name
 // (water_ns ... ocean_nc, h264 ... mcf).
@@ -45,6 +53,10 @@ func main() {
 		clients = flag.Int("clients", 8, "sharded: closed-loop concurrent clients admitted per scheduling round")
 		slots   = flag.Int("round-slots", 0, "sharded: fixed ORAM accesses per partition per round (0 = default)")
 
+		auditOn  = flag.Bool("audit", false, "run the obliviousness auditor over the simulated access stream; a failed audit exits nonzero")
+		auditOut = flag.String("audit-out", "", "write the full audit report as deterministic JSON to this file (implies -audit)")
+		leaky    = flag.String("leaky", "", "NEGATIVE CONTROL: inject a deliberate leak the auditor must flag: drop-dummies or bias-leaf (implies -audit)")
+
 		obsOn       = flag.Bool("obs", false, "enable observability (metrics, time series, flight recorder)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (implies -obs; load in chrome://tracing or Perfetto)")
 		metricsOut  = flag.String("metrics-out", "", "write the deterministic metrics JSON dump to this file (implies -obs)")
@@ -64,11 +76,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ac, err := pickAudit(*auditOn, *auditOut, *leaky)
+	if err != nil {
+		fatal(err)
+	}
 	if *parts > 1 {
 		if *memory != "oram" {
 			fatal(fmt.Errorf("-partitions needs -memory oram"))
 		}
-		runSharded(w, *parts, *clients, *slots, *scheme, *maxSB, *seed, dram)
+		runSharded(w, *parts, *clients, *slots, *scheme, *maxSB, *seed, dram, ac)
 		return
 	}
 	cfg := proram.SimConfig{
@@ -122,6 +138,9 @@ func main() {
 		}
 		cfg.Obs = oc
 	}
+	if ac != nil {
+		cfg.Audit = ac.cfg
+	}
 
 	s, err := proram.NewSimulator(cfg)
 	if err != nil {
@@ -160,11 +179,72 @@ func main() {
 	if *stream {
 		fmt.Printf("stream prefetches    %d (hits %d)\n", res.StreamIssued, res.StreamHits)
 	}
+	ac.finish(res.Audit)
+}
+
+// auditFlags holds the audit configuration the flags armed, plus the
+// report file to flush at exit.
+type auditFlags struct {
+	cfg  *proram.AuditConfig
+	file *os.File
+}
+
+// pickAudit maps the -audit/-audit-out/-leaky flags to an audit
+// configuration; nil means the auditor stays off.
+func pickAudit(on bool, out, leaky string) (*auditFlags, error) {
+	if !on && out == "" && leaky == "" {
+		return nil, nil
+	}
+	a := &auditFlags{cfg: &proram.AuditConfig{}}
+	switch leaky {
+	case "":
+	case "drop-dummies":
+		a.cfg.Leak = proram.LeakDropDummies
+	case "bias-leaf":
+		a.cfg.Leak = proram.LeakBiasLeaf
+	default:
+		return nil, fmt.Errorf("unknown -leaky mode %q (drop-dummies, bias-leaf)", leaky)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return nil, err
+		}
+		a.cfg.Out = f
+		a.file = f
+	}
+	return a, nil
+}
+
+// finish flushes the report file, prints the verdict, and exits nonzero
+// on a failed audit — the exit path CI's negative controls assert on.
+func (a *auditFlags) finish(rep *proram.AuditReport) {
+	if a == nil {
+		return
+	}
+	if a.file != nil {
+		if err := a.file.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", a.file.Name())
+	}
+	if rep == nil {
+		fatal(fmt.Errorf("audit armed but no report produced"))
+	}
+	if rep.Pass {
+		fmt.Printf("audit            pass (%d accesses)\n", rep.Accesses)
+		return
+	}
+	fmt.Printf("audit            FAIL (%d accesses)\n", rep.Accesses)
+	for _, f := range rep.Findings {
+		fmt.Printf("  %s\n", f)
+	}
+	os.Exit(1)
 }
 
 // runSharded replays the workload through the partitioned frontend's
 // deterministic closed-loop scheduler and prints its report.
-func runSharded(w proram.Workload, parts, clients, slots int, scheme string, maxSB int, seed uint64, dram *proram.DRAMConfig) {
+func runSharded(w proram.Workload, parts, clients, slots int, scheme string, maxSB int, seed uint64, dram *proram.DRAMConfig, ac *auditFlags) {
 	cfg := proram.DefaultConfig()
 	cfg.Partitions = parts
 	cfg.RoundSlots = slots
@@ -181,7 +261,16 @@ func runSharded(w proram.Workload, parts, clients, slots int, scheme string, max
 	default:
 		fatal(fmt.Errorf("unknown scheme %q", scheme))
 	}
-	rep, err := proram.SimulateSharded(cfg, w, clients)
+	var (
+		rep  proram.ShardedSimReport
+		arep *proram.AuditReport
+		err  error
+	)
+	if ac != nil {
+		rep, arep, err = proram.SimulateShardedAudited(cfg, w, clients, *ac.cfg)
+	} else {
+		rep, err = proram.SimulateSharded(cfg, w, clients)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -194,6 +283,7 @@ func runSharded(w proram.Workload, parts, clients, slots int, scheme string, max
 	fmt.Printf("real / pad accesses  %d / %d (fill %.3f)\n", s.RealAccesses, s.PadAccesses, s.FillRatio)
 	fmt.Printf("cache hits           %d\n", s.CacheHits)
 	fmt.Printf("carryovers           %d\n", s.Carryovers)
+	ac.finish(arep)
 }
 
 // pickDRAM maps the -dram flag to a public DRAM configuration; nil means

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"proram/internal/obs"
+	"proram/internal/obs/audit"
 	"proram/internal/sim"
 	"proram/internal/superblock"
 	"proram/internal/trace"
@@ -28,6 +29,10 @@ type Options struct {
 	// experiment builds; nil (the default) runs un-instrumented. Systems
 	// appear in the trace as successive processes.
 	Obs *obs.Recorder
+	// Audit, when non-nil, collects the full per-configuration audit
+	// reports of auditing experiments (audit2) — the suite serialized as
+	// the pinned AUDIT artifact.
+	Audit *audit.Suite
 }
 
 func (o Options) scale(ops uint64) uint64 {

@@ -1,0 +1,7 @@
+// Package shapes holds the heavier half of the figure-shape regression
+// suite (see ../shapes_test.go for the other half and the shared
+// rationale). The split exists purely so each test binary finishes
+// within go test's default 10-minute timeout on a single-core runner:
+// the full-scale suite costs ~11 CPU-minutes in total, and the timeout
+// is charged per binary, not per package tree.
+package shapes

@@ -1,0 +1,107 @@
+package shapes
+
+import (
+	"sync"
+	"testing"
+
+	"proram/internal/exp"
+)
+
+// The four most expensive figure runs live here, in their own test
+// binary; everything else is in internal/exp. Assertions are identical
+// in spirit and scale to the rest of the suite (see exp/shapes_test.go).
+
+var (
+	cacheMu    sync.Mutex
+	tableCache = map[string]*exp.Table{}
+)
+
+// shapeScale mirrors exp/shapes_test.go: the shape assertions hold at
+// the paper-size runs.
+const shapeScale = 1.0
+
+func cached(t *testing.T, id string) *exp.Table {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure-shape test skipped in -short mode")
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if tb, ok := tableCache[id]; ok {
+		return tb
+	}
+	tb, err := exp.Run(id, exp.Options{Scale: shapeScale})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	tableCache[id] = tb
+	return tb
+}
+
+// Figure 6a: the static scheme wins only with locality and loses without;
+// the dynamic scheme tracks the better of baseline and static.
+func TestFig6aShape(t *testing.T) {
+	tb := cached(t, "fig6a")
+	if v := tb.MustCell("0%", "stat"); v > -0.01 {
+		t.Errorf("static at 0%% locality should lose clearly, got %.4f", v)
+	}
+	if v := tb.MustCell("100%", "stat"); v < 0.1 {
+		t.Errorf("static at 100%% locality should win, got %.4f", v)
+	}
+	if v := tb.MustCell("0%", "dyn"); v < -0.05 {
+		t.Errorf("dynamic at 0%% locality lost %.4f, should track baseline", v)
+	}
+	if v := tb.MustCell("100%", "dyn"); v < 0.05 {
+		t.Errorf("dynamic at 100%% locality should win, got %.4f", v)
+	}
+	// Monotone-ish growth for dyn.
+	lo := tb.MustCell("20%", "dyn")
+	hi := tb.MustCell("100%", "dyn")
+	if hi < lo {
+		t.Errorf("dynamic speedup did not grow with locality: %.4f -> %.4f", lo, hi)
+	}
+}
+
+// Figure 7: the static scheme degrades as the super block size grows; the
+// dynamic scheme throttles itself and stays no worse than static at 8.
+func TestFig7Shape(t *testing.T) {
+	tb := cached(t, "fig7")
+	s2 := tb.MustCell("2", "stat_speedup")
+	s8 := tb.MustCell("8", "stat_speedup")
+	if s8 >= s2 {
+		t.Errorf("static did not degrade with size: sbsize2 %.4f, sbsize8 %.4f", s2, s8)
+	}
+	d8 := tb.MustCell("8", "dyn_speedup")
+	if d8 < s8 {
+		t.Errorf("dynamic at max size 8 (%.4f) fell below static (%.4f)", d8, s8)
+	}
+}
+
+// Figure 9: the dynamic scheme's prefetch miss rate is below the static
+// scheme's on average.
+func TestFig9Shape(t *testing.T) {
+	for _, id := range []string{"fig9a", "fig9b"} {
+		tb := cached(t, id)
+		s := tb.MustCell("avg", "stat_miss_rate")
+		d := tb.MustCell("avg", "dyn_miss_rate")
+		if d >= s {
+			t.Errorf("%s: dynamic miss rate %.4f not below static %.4f", id, d, s)
+		}
+	}
+}
+
+// Figure 12: a larger stash helps the super block schemes more than the
+// baseline (the baseline is nearly flat).
+func TestFig12Shape(t *testing.T) {
+	tb := cached(t, "fig12")
+	baseSmall := tb.MustCell("ocean_c/25", "oram")
+	baseBig := tb.MustCell("ocean_c/400", "oram")
+	if rel := baseSmall/baseBig - 1; rel > 0.2 {
+		t.Errorf("baseline too stash-sensitive: %.3f", rel)
+	}
+	statSmall := tb.MustCell("ocean_c/25", "stat")
+	statBig := tb.MustCell("ocean_c/400", "stat")
+	if statSmall <= statBig {
+		t.Errorf("static should benefit from a bigger stash: 25 -> %.3f, 400 -> %.3f", statSmall, statBig)
+	}
+}

@@ -1,0 +1,90 @@
+package audit
+
+import "math/bits"
+
+// Digest is a streaming latency histogram with deterministic quantiles:
+// fixed power-of-two bins (bin b holds values of bit length b, i.e.
+// [2^(b-1), 2^b) for b ≥ 1 and {0} for b = 0), integer interpolation
+// inside the selected bin. Memory is O(1) per digest regardless of stream
+// length, and two digests fed the same stream report identical quantiles
+// on every platform.
+type Digest struct {
+	counts [digestBins]uint64
+	n      uint64
+	max    uint64
+}
+
+const digestBins = 65
+
+// Observe adds one value.
+func (d *Digest) Observe(v uint64) {
+	d.counts[bits.Len64(v)]++
+	d.n++
+	if v > d.max {
+		d.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (d *Digest) Count() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.n
+}
+
+// Max returns the largest observed value.
+func (d *Digest) Max() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.max
+}
+
+// Quantile returns the num/den quantile (e.g. 99/100 for p99): the value
+// at ceil(n·num/den) in rank order, estimated by spreading a bin's count
+// evenly across its range. Integer arithmetic throughout; an empty digest
+// returns 0.
+func (d *Digest) Quantile(num, den uint64) uint64 {
+	if d == nil || d.n == 0 || den == 0 {
+		return 0
+	}
+	rank := (d.n*num + den - 1) / den
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > d.n {
+		rank = d.n
+	}
+	var cum uint64
+	for b, cnt := range d.counts {
+		if cnt == 0 {
+			continue
+		}
+		if rank > cum+cnt {
+			cum += cnt
+			continue
+		}
+		lo, hi := binRange(b)
+		if hi > d.max {
+			hi = d.max
+		}
+		pos := rank - cum // 1..cnt
+		// Midpoint-of-equal-slices interpolation: deterministic, exact at
+		// cnt = 1, monotone in pos.
+		return lo + mulDiv(hi-lo, 2*pos-1, 2*cnt)
+	}
+	return d.max
+}
+
+// binRange returns the value range [lo, hi] covered by bin b.
+func binRange(b int) (lo, hi uint64) {
+	if b == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (b - 1)
+	if b == 64 {
+		return lo, ^uint64(0)
+	}
+	return lo, (uint64(1) << b) - 1
+}

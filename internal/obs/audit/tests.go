@@ -1,0 +1,269 @@
+package audit
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Test statuses.
+const (
+	statusPass = "pass"
+	statusFail = "fail"
+	statusSkip = "skip"
+)
+
+// TestResult is one evaluated test at one scope. StatMilli and CritMilli
+// are the chi-square statistic and its alpha = 1e-5 critical value in
+// exact milli-units; the test fails when stat > crit.
+type TestResult struct {
+	Name       string `json:"name"`
+	Scope      string `json:"scope"`
+	Status     string `json:"status"`
+	N          uint64 `json:"n"`
+	DF         int    `json:"df"`
+	StatMilli  uint64 `json:"stat_milli"`
+	CritMilli  uint64 `json:"crit_milli"`
+	Violations uint64 `json:"violations,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+func scopePart(i int) string { return fmt.Sprintf("p%d", i) }
+
+// evaluate runs every armed test and returns the results in a fixed
+// order: uniformity (global, then per partition), serial independence per
+// partition, timing per partition, then the shape checks.
+func (a *Auditor) evaluate() []TestResult {
+	if !a.bound {
+		return nil
+	}
+	out := make([]TestResult, 0, 4+3*a.parts)
+	out = append(out, a.gofResult("global", a.global, a.globalN))
+	for i := 0; i < a.parts; i++ {
+		out = append(out, a.gofResult(scopePart(i), a.part[i], a.partN[i]))
+	}
+	for i := 0; i < a.parts; i++ {
+		out = append(out, a.serialResult(i))
+	}
+	if a.cfg.Timing {
+		for i := 0; i < a.parts; i++ {
+			out = append(out, a.timingResult(i))
+		}
+	}
+	if a.roundSlots > 0 {
+		sh := &a.shape
+		r := TestResult{Name: "round_shape", Scope: "global", Status: statusPass,
+			N: sh.demandChecked, Violations: sh.demandViolations, Detail: sh.demandDetail}
+		if sh.demandViolations > 0 {
+			r.Status = statusFail
+		}
+		out = append(out, r)
+
+		fr := TestResult{Name: "flush_equality", Scope: "global", Status: statusPass,
+			N: sh.flushChecked, Violations: sh.flushViolations, Detail: sh.flushDetail}
+		if sh.flushViolations > 0 {
+			fr.Status = statusFail
+		} else if sh.flushChecked == 0 {
+			fr.Status = statusSkip
+		}
+		out = append(out, fr)
+	}
+	return out
+}
+
+// gofResult is the equal-expected chi-square goodness-of-fit test of one
+// binned leaf histogram against uniform.
+func (a *Auditor) gofResult(scope string, counts []uint64, n uint64) TestResult {
+	r := TestResult{Name: "leaf_uniformity", Scope: scope, N: n, DF: len(counts) - 1}
+	if n < a.minSamples {
+		r.Status = statusSkip
+		return r
+	}
+	r.StatMilli = gofStatMilli(counts, n)
+	r.CritMilli = critMilli(r.DF)
+	r.Status = statusPass
+	if r.StatMilli > r.CritMilli {
+		r.Status = statusFail
+	}
+	return r
+}
+
+// serialResult is the consecutive-leaf-bin independence test for one
+// partition.
+func (a *Auditor) serialResult(part int) TestResult {
+	s := a.serial[part]
+	k := a.serialBins
+	r := TestResult{Name: "serial_independence", Scope: scopePart(part), N: s.n}
+	if s.n < a.minSamples {
+		r.Status = statusSkip
+		return r
+	}
+	rows := make([][]uint64, k)
+	for i := 0; i < k; i++ {
+		rows[i] = s.cells[i*k : (i+1)*k]
+	}
+	stat, df, _ := contingencyMilli(rows)
+	r.StatMilli, r.DF = stat, df
+	if df < 1 {
+		r.Status = statusPass
+		return r
+	}
+	r.CritMilli = critMilli(df)
+	r.Status = statusPass
+	if stat > r.CritMilli {
+		r.Status = statusFail
+	}
+	return r
+}
+
+// timingResult is the two-sample real-vs-dummy gap homogeneity test for
+// one partition: adjacent gap bins are merged until each merged column
+// holds at least 16 observations (the usual expected-count floor), then a
+// 2×B contingency test compares the populations.
+func (a *Auditor) timingResult(part int) TestResult {
+	t := a.timing[part]
+	r := TestResult{Name: "timing_indistinguishability", Scope: scopePart(part), N: t.realN + t.dummyN}
+	if t.realN < a.minSamples/4 || t.dummyN < a.minSamples/4 {
+		r.Status = statusSkip
+		return r
+	}
+	real, dummy := mergeGapBins(t.real[:], t.dummy[:], 16)
+	stat, df, _ := contingencyMilli([][]uint64{real, dummy})
+	r.StatMilli, r.DF = stat, df
+	if df < 1 {
+		// Both populations concentrate in one merged bin: identical on the
+		// observable granularity (e.g. the flat channel's constant path
+		// latency).
+		r.Status = statusPass
+		return r
+	}
+	r.CritMilli = critMilli(df)
+	r.Status = statusPass
+	if stat > r.CritMilli {
+		r.Status = statusFail
+	}
+	return r
+}
+
+// mergeGapBins merges adjacent histogram bins left to right until each
+// merged bin's combined (real+dummy) count reaches floor; a trailing
+// underweight bin folds into its predecessor.
+func mergeGapBins(real, dummy []uint64, floor uint64) (r, d []uint64) {
+	var accR, accD uint64
+	for i := range real {
+		accR += real[i]
+		accD += dummy[i]
+		if accR+accD >= floor {
+			r = append(r, accR)
+			d = append(d, accD)
+			accR, accD = 0, 0
+		}
+	}
+	if accR+accD > 0 {
+		if len(r) > 0 {
+			r[len(r)-1] += accR
+			d[len(d)-1] += accD
+		} else {
+			r = append(r, accR)
+			d = append(d, accD)
+		}
+	}
+	return r, d
+}
+
+// gofStatMilli computes the equal-expected chi-square statistic in
+// milli-units: sum over bins of floor(1000·(O·k − n)² / (n·k)). Exact
+// integer arithmetic via big.Int; per-term flooring costs at most one
+// milli-unit per bin, far below the decision threshold.
+func gofStatMilli(counts []uint64, n uint64) uint64 {
+	k := uint64(len(counts))
+	if n == 0 || k < 2 {
+		return 0
+	}
+	den := new(big.Int).Mul(new(big.Int).SetUint64(n), new(big.Int).SetUint64(k))
+	thousand := big.NewInt(1000)
+	sum := new(big.Int)
+	d := new(big.Int)
+	t := new(big.Int)
+	for _, o := range counts {
+		d.SetUint64(o)
+		d.Mul(d, t.SetUint64(k))
+		d.Sub(d, t.SetUint64(n))
+		d.Mul(d, d)
+		d.Mul(d, thousand)
+		d.Div(d, den)
+		sum.Add(sum, d)
+	}
+	if !sum.IsUint64() {
+		return ^uint64(0)
+	}
+	return sum.Uint64()
+}
+
+// contingencyMilli computes the chi-square independence/homogeneity
+// statistic (milli-units) for an r×c table, dropping all-zero rows and
+// columns from the degrees of freedom: per cell, floor(1000·(O·n − R·C)²
+// / (n·R·C)). Exact integer arithmetic via big.Int.
+func contingencyMilli(rows [][]uint64) (stat uint64, df int, n uint64) {
+	if len(rows) == 0 {
+		return 0, 0, 0
+	}
+	cols := len(rows[0])
+	rowSum := make([]uint64, len(rows))
+	colSum := make([]uint64, cols)
+	for i, row := range rows {
+		for j, o := range row {
+			rowSum[i] += o
+			colSum[j] += o
+			n += o
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	nzRows, nzCols := 0, 0
+	for _, s := range rowSum {
+		if s > 0 {
+			nzRows++
+		}
+	}
+	for _, s := range colSum {
+		if s > 0 {
+			nzCols++
+		}
+	}
+	df = (nzRows - 1) * (nzCols - 1)
+	bigN := new(big.Int).SetUint64(n)
+	thousand := big.NewInt(1000)
+	sum := new(big.Int)
+	d := new(big.Int)
+	t := new(big.Int)
+	den := new(big.Int)
+	for i, row := range rows {
+		if rowSum[i] == 0 {
+			continue
+		}
+		for j, o := range row {
+			if colSum[j] == 0 {
+				continue
+			}
+			// d = O·n − R·C
+			d.SetUint64(o)
+			d.Mul(d, bigN)
+			t.SetUint64(rowSum[i])
+			t.Mul(t, den.SetUint64(colSum[j]))
+			d.Sub(d, t)
+			d.Mul(d, d)
+			d.Mul(d, thousand)
+			// den = n·R·C
+			den.SetUint64(rowSum[i])
+			den.Mul(den, t.SetUint64(colSum[j]))
+			den.Mul(den, bigN)
+			d.Div(d, den)
+			sum.Add(sum, d)
+		}
+	}
+	if !sum.IsUint64() {
+		return ^uint64(0), df, n
+	}
+	return sum.Uint64(), df, n
+}

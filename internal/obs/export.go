@@ -34,6 +34,42 @@ type histogramDump struct {
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+}
+
+// histQuantile estimates the q-quantile (0 < q <= 1) of a bucketed
+// histogram by linear interpolation inside the bucket holding the target
+// rank. The first bucket interpolates from zero; the overflow bucket has
+// no upper bound and reports the largest finite bound (the standard
+// bucketed-quantile convention). The arithmetic is a fixed left-to-right
+// walk, so equal inputs yield bit-equal outputs.
+func histQuantile(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if rank > cum+fc {
+			cum += fc
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		return lo + (bounds[i]-lo)*((rank-cum)/fc)
+	}
+	return bounds[len(bounds)-1]
 }
 
 type seriesDump struct {
@@ -66,6 +102,9 @@ func writeMetricsJSON(w io.Writer, reg *Registry, sm *Sampler) error {
 		}
 		dump.Histograms = append(dump.Histograms, histogramDump{
 			Name: h.name, Bounds: bounds, Counts: h.counts, Count: h.count, Sum: h.sum,
+			P50: histQuantile(h.bounds, h.counts, h.count, 0.50),
+			P95: histQuantile(h.bounds, h.counts, h.count, 0.95),
+			P99: histQuantile(h.bounds, h.counts, h.count, 0.99),
 		})
 	}
 	for _, s := range sm.series {

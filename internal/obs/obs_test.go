@@ -228,3 +228,43 @@ func TestBeginProcessScopesCallbacksAndPids(t *testing.T) {
 		t.Fatal("no process metadata emitted")
 	}
 }
+
+func TestHistogramQuantiles(t *testing.T) {
+	// 100 observations spread evenly across (0,10], (10,20], (20,40]:
+	// linear interpolation inside the selected bucket is exact for the
+	// mid-bucket ranks and clamps to the top bound in the overflow bucket.
+	bounds := []float64{10, 20, 40}
+	counts := []uint64{50, 40, 10, 0}
+	if q := histQuantile(bounds, counts, 100, 0.50); q != 10 {
+		t.Fatalf("p50 = %v, want 10", q)
+	}
+	if q := histQuantile(bounds, counts, 100, 0.25); q != 5 {
+		t.Fatalf("p25 = %v, want 5", q)
+	}
+	if q := histQuantile(bounds, counts, 100, 0.95); q != 30 {
+		t.Fatalf("p95 = %v, want 30", q)
+	}
+	if q := histQuantile(bounds, counts, 100, 1.0); q != 40 {
+		t.Fatalf("p100 = %v, want 40", q)
+	}
+	// Overflow-bucket mass reports the largest finite bound.
+	if q := histQuantile(bounds, []uint64{0, 0, 0, 5}, 5, 0.5); q != 40 {
+		t.Fatalf("overflow p50 = %v, want 40", q)
+	}
+	if q := histQuantile(bounds, counts, 0, 0.5); q != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", q)
+	}
+	// The export carries the quantiles.
+	var reg Registry
+	h := reg.Histogram("h", bounds)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%40) + 0.5)
+	}
+	var buf bytes.Buffer
+	if err := writeMetricsJSON(&buf, &reg, &Sampler{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"p50"`) || !strings.Contains(buf.String(), `"p99"`) {
+		t.Fatalf("export missing quantile fields:\n%s", buf.String())
+	}
+}

@@ -144,11 +144,21 @@ func (c *Controller) Stats() Stats {
 // Trace returns the recorded physical access trace (RecordTrace only).
 func (c *Controller) Trace() []TraceEvent { return c.trace }
 
-// randLeaf draws a fresh uniform leaf label.
+// Leaves returns the number of leaves of the instantiated tree (a power
+// of two) — the leaf-label range the obliviousness auditor tests against.
+func (c *Controller) Leaves() uint64 { return c.tr.Leaves() }
+
+// randLeaf draws a fresh uniform leaf label. Under the LeakBiasLeaf
+// negative control the draw covers only the lower half of the range,
+// which the auditor's uniformity test must flag.
 //
 //proram:hotpath one draw per path access and per remap
 func (c *Controller) randLeaf() mem.Leaf {
-	return mem.Leaf(c.rnd.Uint64n(c.tr.Leaves()))
+	n := c.tr.Leaves()
+	if c.cfg.LeakBiasLeaf {
+		n /= 2
+	}
+	return mem.Leaf(c.rnd.Uint64n(n))
 }
 
 // mustAdd stashes a block, converting a stash error into a controller
@@ -318,7 +328,10 @@ func (c *Controller) accessPosMapBlock(ready uint64, id mem.BlockID, kind Access
 	isNew := oldLeaf == mem.NoLeaf
 	readLeaf := oldLeaf
 	if isNew {
-		readLeaf = newLeaf
+		// First touch reads an independent decoy path: the block is not
+		// in the tree, and reading the just-assigned leaf would link
+		// this access to the block's next one (see dataAccess).
+		readLeaf = c.randLeaf()
 	}
 	//proram:allow allocdiscipline the during-path callback is one fixed closure per access, not per-block work
 	c.rawPathAccess(start, readLeaf, kind, func() {

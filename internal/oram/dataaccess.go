@@ -54,7 +54,13 @@ func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []
 
 	readLeaf := oldLeaf
 	if isNew {
-		readLeaf = newLeaf
+		// First touch: the block is not in the tree yet, so read an
+		// independent decoy path rather than the freshly assigned leaf.
+		// Reading newLeaf here would reveal it, and the block's next
+		// access reads it again — a linkable duplicate in the physical
+		// stream (the obliviousness auditor's uniformity test catches
+		// the resulting pair correlation).
+		readLeaf = c.randLeaf()
 	}
 	kind := KindData
 	if wb {

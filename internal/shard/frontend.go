@@ -8,6 +8,7 @@ import (
 
 	"proram/internal/dram/banked"
 	"proram/internal/obs"
+	"proram/internal/obs/audit"
 	"proram/internal/oram"
 	"proram/internal/rng"
 	"proram/internal/seal"
@@ -63,6 +64,15 @@ type Config struct {
 	// dedicated to this frontend or otherwise only touched between rounds:
 	// all emissions happen on the dispatcher goroutine.
 	Recorder *obs.Recorder
+	// Audit, when non-nil, receives the wire-observable streams — per-slot
+	// trace marks, arbitrated physical accesses, latency spans — at every
+	// commit barrier. The frontend Binds it to its own shape; like the
+	// Recorder it must be dedicated to this frontend (all feeds happen on
+	// the round driver). Setting it forces per-round trace recording.
+	Audit *audit.Auditor
+	// Leak arms a test-only negative control (see audit.Leak). Never set
+	// it outside auditor validation: it deliberately breaks obliviousness.
+	Leak audit.Leak
 }
 
 // normalize fills defaults and validates.
@@ -133,6 +143,11 @@ type Frontend struct {
 	met    *metrics
 	manual bool // replay mode: the caller drives rounds, no dispatcher
 	done   chan struct{}
+
+	// floors maps a round number to the clock floor it started from, for
+	// queueing-delay spans. Only the round driver touches it, at commit
+	// barriers; entries are pruned a fixed horizon behind the commit.
+	floors map[uint64]uint64
 }
 
 // New builds a frontend and starts its dispatcher and workers. Callers
@@ -165,6 +180,7 @@ func build(cfg Config, manual bool) (*Frontend, error) {
 		queues:  make([][]*request, cfg.Partitions),
 		manual:  manual,
 		done:    make(chan struct{}),
+		floors:  make(map[uint64]uint64),
 	}
 	f.cond = sync.NewCond(&f.mu)
 	if cfg.RecordAccesses {
@@ -183,9 +199,10 @@ func build(cfg Config, manual bool) (*Frontend, error) {
 		cacheBlocks = 16
 	}
 	// Shared-device arbitration replays each round's access sequence at the
-	// barrier, so it needs the per-round traces even when the caller didn't
-	// ask for the access log.
-	record := cfg.RecordAccesses || cfg.Banked != nil
+	// barrier, and the auditor tests the observed trace — both need the
+	// per-round traces even when the caller didn't ask for the access log.
+	record := cfg.RecordAccesses || cfg.Banked != nil || cfg.Audit != nil
+	lat := cfg.Audit != nil || cfg.Recorder.Enabled()
 	for i := range f.parts {
 		seedP := mix(cfg.Seed, 0x70617274<<8|uint64(i))
 		ocfg := cfg.ORAM
@@ -193,6 +210,7 @@ func build(cfg Config, manual bool) (*Frontend, error) {
 		ocfg.BlockBytes = cfg.BlockBytes
 		ocfg.Seed = mix(seedP, 1)
 		ocfg.RecordTrace = record
+		ocfg.LeakBiasLeaf = cfg.Leak == audit.LeakBiasLeaf
 		// Workers run on provisional flat clocks; the shared device (below)
 		// owns the banked timing, so partitions never build private ones.
 		ocfg.Banked = nil
@@ -211,6 +229,9 @@ func build(cfg Config, manual bool) (*Frontend, error) {
 			roundSlots:  cfg.RoundSlots,
 			maxCost:     cfg.MaxSuperBlock + 1,
 			record:      record,
+			markSlots:   cfg.Audit != nil,
+			lat:         lat,
+			dropDummies: cfg.Leak == audit.LeakDropDummies,
 			store:       NewStore(ctrl, sealer, cfg.BlockBytes),
 			dummyRnd:    rng.New(mix(seedP, 3)),
 			local:       make(map[uint64]uint64),
@@ -222,6 +243,11 @@ func build(cfg Config, manual bool) (*Frontend, error) {
 		ctrl.SetProber(p)
 		f.parts[i] = p
 		go p.run()
+	}
+	if cfg.Audit != nil {
+		if err := cfg.Audit.Bind(cfg.Partitions, f.parts[0].store.Ctrl.Leaves(), cfg.RoundSlots); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Banked != nil {
 		ctrl0 := f.parts[0].store.Ctrl
@@ -281,6 +307,7 @@ func (f *Frontend) enqueue(index uint64, write bool, data []byte) (chan response
 	}
 	req.seq = f.nextSeq
 	f.nextSeq++
+	req.arr = f.nextRound
 	if f.cfg.RecordArrivals {
 		f.arrivals = append(f.arrivals, Arrival{Seq: req.seq, Index: index, Write: write, Round: f.nextRound})
 	}
@@ -508,7 +535,21 @@ func (f *Frontend) commit(round uint64, kind roundKind, floor uint64, byPart []r
 	f.snap = f.computeStats(kind, leftovers)
 	pending := f.pending
 	f.mu.Unlock()
-	f.met.onRound(f, kind, byPart, leftovers, pending)
+	// Latency spans and the audit feed run after arbitration so start
+	// cycles are the contended ones the wire would show. Both touch only
+	// round-driver-owned state (floors, auditor, recorder).
+	if _, ok := f.floors[round]; !ok {
+		f.floors[round] = floor
+	}
+	if round >= floorHorizon {
+		delete(f.floors, round-floorHorizon)
+	}
+	var sp []spans
+	if kind == roundDemand && (f.cfg.Audit != nil || f.met != nil) {
+		sp = f.roundSpans(floor, byPart)
+	}
+	f.feedAudit(round, kind, byPart, sp)
+	f.met.onRound(f, kind, byPart, sp, leftovers, pending)
 }
 
 // arbitrate schedules the round's recorded accesses onto the shared banked

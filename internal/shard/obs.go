@@ -22,7 +22,19 @@ type metrics struct {
 	fill       *obs.Histogram // per-(round, partition) fill, percent
 	queueDepth *obs.Gauge     // high-water pending requests at a barrier
 	stash      []*obs.Gauge   // per-partition stash occupancy high-water
+
+	// End-to-end latency decomposition, in simulated cycles: per-request
+	// totals per partition, plus the global queue/service/DRAM components.
+	latE2E     []*obs.Histogram
+	latQueue   *obs.Histogram
+	latService *obs.Histogram
+	latDRAM    *obs.Histogram
+	spanNames  []string // per-partition trace lane names, preallocated
 }
+
+// latencyBounds bucket simulated-cycle latencies from a single path
+// access (~thousands) up through heavily queued rounds.
+var latencyBounds = []float64{1_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000}
 
 // newMetrics registers the scheduler's metrics; nil recorder, nil metrics
 // (every method is then a no-op).
@@ -42,15 +54,24 @@ func newMetrics(rec *obs.Recorder, parts int) *metrics {
 		fill:       rec.Histogram("shard.round_fill_pct", []float64{0, 10, 25, 50, 75, 90, 100}),
 		queueDepth: rec.Gauge("shard.queue_depth"),
 		stash:      make([]*obs.Gauge, parts),
+		latE2E:     make([]*obs.Histogram, parts),
+		latQueue:   rec.Histogram("shard.latency_queue", latencyBounds),
+		latService: rec.Histogram("shard.latency_service", latencyBounds),
+		latDRAM:    rec.Histogram("shard.latency_dram", latencyBounds),
+		spanNames:  make([]string, parts),
 	}
 	for i := range m.stash {
 		m.stash[i] = rec.Gauge(fmt.Sprintf("shard.p%d.stash_occupancy", i))
+		m.latE2E[i] = rec.Histogram(fmt.Sprintf("shard.p%d.latency_e2e", i), latencyBounds)
+		m.spanNames[i] = fmt.Sprintf("p%d.service", i)
 	}
 	return m
 }
 
-// onRound records one completed round (of any kind) from the barrier.
-func (m *metrics) onRound(f *Frontend, kind roundKind, byPart []roundResult, leftovers, pending int) {
+// onRound records one completed round (of any kind) from the barrier. For
+// demand rounds sp carries the per-partition latency decomposition (nil
+// for flush and pad rounds).
+func (m *metrics) onRound(f *Frontend, kind roundKind, byPart []roundResult, sp []spans, leftovers, pending int) {
 	if m == nil {
 		return
 	}
@@ -60,13 +81,33 @@ func (m *metrics) onRound(f *Frontend, kind roundKind, byPart []roundResult, lef
 	case roundFlush:
 		m.flushes.Inc()
 	}
-	for _, r := range byPart {
+	for i := range byPart {
+		r := &byPart[i]
 		m.demand.Add(uint64(r.real))
 		m.dummy.Add(uint64(r.dummy))
 		m.hits.Add(uint64(r.hits))
 		m.served.Add(uint64(r.served))
 		if kind == roundDemand {
 			m.fill.Observe(100 * float64(r.real) / float64(f.cfg.RoundSlots))
+		}
+	}
+	if sp != nil {
+		for i := range sp {
+			s := &sp[i]
+			if s.service > 0 {
+				// One "service" lane per partition: Perfetto renders each
+				// partition's round execution as a bar from the round's clock
+				// floor to the partition's data-ready cycle.
+				m.rec.Span("latency", m.spanNames[i], s.ready-s.service, s.service, "part", uint64(i))
+				m.latService.Observe(float64(s.service))
+			}
+			if s.dram > 0 {
+				m.latDRAM.Observe(float64(s.dram))
+			}
+			for j := range s.total {
+				m.latQueue.Observe(float64(s.queue[j]))
+				m.latE2E[i].Observe(float64(s.total[j]))
+			}
 		}
 	}
 	m.carryovers.Add(uint64(leftovers))

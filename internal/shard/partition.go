@@ -14,6 +14,7 @@ type request struct {
 	seq   uint64
 	index uint64 // global block index
 	write bool
+	arr   uint64 // arrival round (latency spans measure from its clock floor)
 	//proram:secret write payload bytes (admission-owned copy)
 	data []byte
 	resp chan response
@@ -61,6 +62,8 @@ type roundResult struct {
 	served    int        // requests answered (hits + demand-served + errored)
 	errors    int        // requests answered with an error
 	trace     []oram.TraceEvent
+	marks     []slotMark // per-slot trace boundaries (auditing only)
+	servedArr []uint64   // arrival rounds of answered requests (latency only)
 }
 
 // cacheLine is one plaintext block in a partition's client-side cache
@@ -83,8 +86,11 @@ type partition struct {
 	localBlocks uint64
 	cacheBlocks int
 	roundSlots  int
-	maxCost     int // conservative accesses per demand request
-	record      bool
+	maxCost     int  // conservative accesses per demand request
+	record      bool // keep per-round traces
+	markSlots   bool // auditing: mark each slot's trace boundary
+	lat         bool // latency spans: report served requests' arrival rounds
+	dropDummies bool // LeakDropDummies negative control: lie about padding
 
 	store    *Store
 	dummyRnd *rng.Source
@@ -98,6 +104,7 @@ type partition struct {
 	lru   *list.List
 
 	lastTraceLen int
+	curMarks     []slotMark // marks of the round in flight (markSlots only)
 
 	// Cumulative counters (see stats.go for the identities they obey).
 	reads, writes  uint64
@@ -150,7 +157,25 @@ func (p *partition) execRound(w roundWork) roundResult {
 		res.trace = append([]oram.TraceEvent(nil), tr[p.lastTraceLen:]...)
 		p.lastTraceLen = len(tr)
 	}
+	if p.markSlots {
+		res.marks = p.curMarks
+		p.curMarks = nil
+	}
 	return res
+}
+
+// mark closes one issued access slot for the auditor: the current trace
+// length (relative to the round's start) bounds the slot's physical
+// accesses. Callers mark exactly once per counted slot access, so the
+// observed mark count is the wire-truth the shape test checks.
+func (p *partition) mark(dummy bool) {
+	if !p.markSlots {
+		return
+	}
+	p.curMarks = append(p.curMarks, slotMark{
+		end:   len(p.store.Ctrl.Trace()) - p.lastTraceLen,
+		dummy: dummy,
+	})
 }
 
 // demandRound serves queued requests and pads to exactly roundSlots ORAM
@@ -179,7 +204,17 @@ func (p *partition) demandRound(w roundWork, res *roundResult) {
 		budget -= p.demandAccess(req, local, res)
 	}
 	for budget > 0 {
+		if p.dropDummies {
+			// Negative control: claim the padding without issuing it. Every
+			// counter and reported shape stays plausible — only the observed
+			// trace (and the auditor watching it) knows.
+			res.dummy++
+			p.dummyAccesses++
+			budget--
+			continue
+		}
 		p.dummyAccess()
+		p.mark(true)
 		res.dummy++
 		p.dummyAccesses++
 		budget--
@@ -215,6 +250,7 @@ func (p *partition) serveCached(req *request, e *list.Element, res *roundResult)
 func (p *partition) demandAccess(req *request, local uint64, res *roundResult) int {
 	cost := 1
 	r := p.store.DemandRead(local)
+	p.mark(false)
 	res.real++
 	p.realAccesses++
 	line, evicted, err := p.install(local, false)
@@ -268,6 +304,9 @@ func (p *partition) finish(req *request, line *cacheLine, res *roundResult) {
 func (p *partition) answer(req *request, resp response, res *roundResult) {
 	res.served++
 	p.servedRequests++
+	if p.lat {
+		res.servedArr = append(res.servedArr, req.arr)
+	}
 	req.resp <- resp
 }
 
@@ -306,10 +345,9 @@ func (p *partition) evictLRU() (int, error) {
 	if !line.dirty {
 		return 0, nil
 	}
-	if err := p.store.WriteBack(line.local, line.data); err != nil {
-		return 1, err
-	}
-	return 1, nil
+	err := p.store.WriteBack(line.local, line.data)
+	p.mark(false)
+	return 1, err
 }
 
 // dummyAccess performs one padding access: a full recursive read of a
@@ -336,6 +374,7 @@ func (p *partition) flushRound(res *roundResult) {
 			p.requestErrors++
 			continue
 		}
+		p.mark(false)
 		line.dirty = false
 		res.real++
 		p.flushAccesses++
@@ -346,6 +385,7 @@ func (p *partition) flushRound(res *roundResult) {
 func (p *partition) padRound(w roundWork, res *roundResult) {
 	for i := 0; i < w.padTo; i++ {
 		p.dummyAccess()
+		p.mark(true)
 		res.dummy++
 		p.flushPad++
 	}

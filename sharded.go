@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"proram/internal/obs/audit"
 	"proram/internal/shard"
 	"proram/internal/sim"
 )
@@ -26,6 +27,9 @@ type ShardedRAM struct {
 	cfg        Config
 	f          *shard.Frontend
 	metricsOut io.Writer
+	aud        *audit.Auditor
+	auditOut   io.Writer
+	auditRep   *AuditReport
 }
 
 // ShardedOptions tunes the concurrent frontend beyond Config.
@@ -38,6 +42,9 @@ type ShardedOptions struct {
 	// Obs enables scheduler metrics and tracing; outputs are finalized by
 	// Close.
 	Obs *ObsConfig
+	// Audit arms the live obliviousness auditor; its report is finalized
+	// by Close, which then also fails when the audit does. See AuditConfig.
+	Audit *AuditConfig
 }
 
 // NewSharded builds a partitioned oblivious RAM. Close it to stop the
@@ -51,13 +58,20 @@ func NewSharded(cfg Config, opt ShardedOptions) (*ShardedRAM, error) {
 	scfg.RecordArrivals = opt.RecordArrivals
 	scfg.RecordAccesses = opt.RecordAccesses
 	scfg.Recorder = opt.Obs.recorder()
+	scfg.Audit = opt.Audit.auditor(scfg.Banked == nil, scfg.Recorder)
+	if opt.Audit != nil {
+		scfg.Leak = opt.Audit.Leak.internal()
+	}
 	f, err := shard.New(scfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &ShardedRAM{cfg: cfg, f: f}
+	s := &ShardedRAM{cfg: cfg, f: f, aud: scfg.Audit}
 	if opt.Obs != nil {
 		s.metricsOut = opt.Obs.MetricsOut
+	}
+	if opt.Audit != nil {
+		s.auditOut = opt.Audit.Out
 	}
 	return s, nil
 }
@@ -100,9 +114,22 @@ func (s *ShardedRAM) WriteAt(p []byte, off int64) (int, error) {
 func (s *ShardedRAM) Flush() error { return s.f.Flush() }
 
 // Close drains queued requests, stops the scheduler and workers, and
-// finalizes observability outputs. Requests admitted after Close fail.
+// finalizes observability and audit outputs. Requests admitted after
+// Close fail. When an auditor was armed and its verdict is a failure,
+// Close writes the report, keeps it available via Audit, and returns the
+// failure as its error.
 func (s *ShardedRAM) Close() error {
 	err := s.f.Close()
+	if s.aud != nil {
+		rep, aerr := finishAudit(s.aud, s.auditOut)
+		s.auditRep = rep
+		if err == nil {
+			err = aerr
+		}
+		if err == nil {
+			err = rep.Err()
+		}
+	}
 	if rec := s.f.Recorder(); rec.Enabled() {
 		if s.metricsOut != nil {
 			if werr := rec.WriteMetrics(s.metricsOut); err == nil {
@@ -115,6 +142,10 @@ func (s *ShardedRAM) Close() error {
 	}
 	return err
 }
+
+// Audit returns the audit digest. It is nil until Close finalizes the
+// report (or when no auditor was armed).
+func (s *ShardedRAM) Audit() *AuditReport { return s.auditRep }
 
 // Stats aggregates usage statistics across partitions into the same shape
 // the unified RAM reports. DummyAccesses includes the scheduler's round
@@ -210,6 +241,30 @@ func SimulateSharded(cfg Config, w Workload, clients int) (ShardedSimReport, err
 		r.PathAccesses += p.ORAM.PathAccesses
 	}
 	return r, nil
+}
+
+// SimulateShardedAudited is SimulateSharded with the obliviousness
+// auditor tapped into the run. The report digest is returned even when
+// the audit fails — the error reports operational failures only, so
+// callers (the CLIs, CI) decide how a failed verdict exits.
+func SimulateShardedAudited(cfg Config, w Workload, clients int, ac AuditConfig) (ShardedSimReport, *AuditReport, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return ShardedSimReport{}, nil, err
+	}
+	scfg := cfg.shardConfig()
+	scfg.Audit = ac.auditor(scfg.Banked == nil, nil)
+	scfg.Leak = ac.Leak.internal()
+	rep, _, err := sim.RunSharded(scfg, w.generator(), clients)
+	if err != nil {
+		return ShardedSimReport{}, nil, err
+	}
+	r := ShardedSimReport{Ops: rep.Ops, Sched: schedStatsFrom(cfg.Partitions, rep.Stats)}
+	for _, p := range rep.Stats.Partitions {
+		r.PathAccesses += p.ORAM.PathAccesses
+	}
+	pub, aerr := finishAudit(scfg.Audit, ac.Out)
+	return r, pub, aerr
 }
 
 // SchedStats summarizes what the sharded scheduler did: round counts, the

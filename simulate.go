@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"proram/internal/obs"
+	"proram/internal/obs/audit"
+	"proram/internal/oram"
 	"proram/internal/prefetch"
 	"proram/internal/sim"
 	"proram/internal/trace"
@@ -56,6 +58,12 @@ type SimConfig struct {
 	// Obs enables the observability layer (metrics, time series, tracing,
 	// flight recorder); nil runs un-instrumented. See ObsConfig.
 	Obs *ObsConfig
+	// Audit arms the obliviousness auditor over the recorded physical
+	// trace of every Run (forces trace recording). Requires MemoryORAM;
+	// the timing test arms only with Periodic (without it, completion
+	// times are legitimately data-dependent). LeakDropDummies is a sharded
+	// scheduler control and is rejected here. See AuditConfig.
+	Audit *AuditConfig
 }
 
 // Simulator runs workloads on a configured memory system. Each Run builds
@@ -65,6 +73,8 @@ type Simulator struct {
 	cfg        sim.Config
 	rec        *obs.Recorder
 	metricsOut io.Writer
+	audit      *AuditConfig
+	periodic   bool
 }
 
 // NewSimulator validates the configuration and returns a Simulator.
@@ -112,10 +122,20 @@ func NewSimulator(c SimConfig) (*Simulator, error) {
 		cfg.ORAM.Oint = c.Oint
 	}
 	cfg.WarmupOps = c.WarmupOps
+	if c.Audit != nil {
+		if c.Memory == MemoryDRAM {
+			return nil, fmt.Errorf("proram: Audit requires MemoryORAM (DRAM has no obliviousness to audit)")
+		}
+		if c.Audit.Leak == LeakDropDummies {
+			return nil, fmt.Errorf("proram: LeakDropDummies is a sharded scheduler control; the unified simulator has no round padding to drop")
+		}
+		cfg.ORAM.RecordTrace = true
+		cfg.ORAM.LeakBiasLeaf = c.Audit.Leak == LeakBiasLeaf
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Simulator{cfg: cfg, rec: c.Obs.recorder()}
+	s := &Simulator{cfg: cfg, rec: c.Obs.recorder(), audit: c.Audit, periodic: c.Periodic}
 	if c.Obs != nil {
 		s.metricsOut = c.Obs.MetricsOut
 		s.cfg.Obs = s.rec
@@ -138,6 +158,9 @@ type Result struct {
 	ORAM Stats
 	// StreamIssued/StreamHits report the traditional prefetcher.
 	StreamIssued, StreamHits uint64
+	// Audit is the obliviousness audit digest (nil unless SimConfig.Audit
+	// armed the auditor).
+	Audit *AuditReport
 }
 
 // Run executes one workload and returns the measurements.
@@ -152,7 +175,7 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	res := Result{
 		Cycles:         rep.Cycles,
 		MemOps:         rep.MemOps,
 		LLCMisses:      rep.LLCMisses,
@@ -160,7 +183,40 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 		ORAM:           statsFrom(rep.ORAM, rep.ORAM.DemandReads, rep.ORAM.Writebacks, 0),
 		StreamIssued:   rep.StreamIssued,
 		StreamHits:     rep.StreamHits,
-	}, nil
+	}
+	if s.audit != nil {
+		res.Audit, err = s.runAudit(system)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return res, nil
+}
+
+// runAudit replays the finished run's recorded physical trace through a
+// fresh auditor: one scope, no round contract (the unified controller has
+// no round scheduler), dummies labeled from the controller's own access
+// kinds, and the timing test armed only under Periodic.
+func (s *Simulator) runAudit(system *sim.System) (*AuditReport, error) {
+	ctrl := system.ORAM()
+	if ctrl == nil {
+		return nil, fmt.Errorf("proram: audit requires an ORAM-backed system")
+	}
+	aud := s.audit.auditor(s.periodic, s.rec)
+	if err := aud.Bind(1, ctrl.Leaves(), 0); err != nil {
+		return nil, err
+	}
+	tr := ctrl.Trace()
+	evs := make([]audit.AccessEvent, len(tr))
+	for i, ev := range tr {
+		evs[i] = audit.AccessEvent{
+			Leaf:  ev.Leaf,
+			Start: ev.Start,
+			Dummy: ev.Kind == oram.KindPeriodicDummy || ev.Kind == oram.KindBackgroundEvict,
+		}
+	}
+	aud.Accesses(0, evs)
+	return finishAudit(aud, s.audit.Out)
 }
 
 // Workload is a deterministic memory reference stream for the Simulator.

@@ -128,7 +128,7 @@ func TestZeroWorkloadPanics(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 26 { // 18 paper tables/figures + 6 ablations + bench0 + bench1
+	if len(ids) != 27 { // 18 paper tables/figures + 6 ablations + bench0 + bench1 + audit2
 		t.Fatalf("ExperimentIDs = %d", len(ids))
 	}
 	if _, ok := ExperimentTitle("fig8a"); !ok {
