@@ -1,14 +1,23 @@
 // Command proram-vet runs the repo-specific static-analysis suite: the
 // determinism, maporder, oblivious, panicdiscipline, seedplumbing,
-// allocdiscipline, goroutinediscipline, lockorder, concdeterminism and
-// allowhygiene passes of proram/internal/analysis.
+// allocdiscipline, goroutinediscipline, lockorder, concdeterminism,
+// fixedtrip, branchless, boundscheck and allowhygiene passes of
+// proram/internal/analysis.
 //
 // Usage:
 //
 //	go run ./cmd/proram-vet ./...
 //	go run ./cmd/proram-vet -pass lockorder,goroutinediscipline ./internal/shard
+//	go run ./cmd/proram-vet -pass trip,ct,bce ./internal/shard
 //	go run ./cmd/proram-vet -list-passes
-//	go run ./cmd/proram-vet -json ./... > vet.json
+//	go run ./cmd/proram-vet -timing -json ./... > vet.json
+//
+// Each pass also answers to a short alias (-list shows both); aliases
+// are accepted by -checks/-pass only — diagnostics, //proram:allow
+// directives and the JSON report always use canonical names. With
+// -timing the per-pass wall-clock cost is printed to stderr after the
+// run; stdout (including the -json report) is unaffected, so timing
+// never perturbs byte-stable artifacts.
 //
 // It loads and type-checks the whole module (standard library imports
 // are resolved from GOROOT source, so no tooling beyond the Go
@@ -36,6 +45,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"proram/internal/analysis"
 )
@@ -64,11 +74,16 @@ func main() {
 	listFlag := flag.Bool("list", false, "list registered passes with their descriptions and exit")
 	listPasses := flag.Bool("list-passes", false, "alias of -list")
 	jsonFlag := flag.Bool("json", false, "emit a byte-stable JSON report on stdout instead of file:line:col lines")
+	timingFlag := flag.Bool("timing", false, "print per-pass wall-clock timing to stderr after the run")
 	flag.Parse()
 
 	if *listFlag || *listPasses {
 		for _, p := range analysis.DefaultPasses() {
-			fmt.Printf("%-20s %s\n", p.Name, p.Doc)
+			name := p.Name
+			if len(p.Aliases) > 0 {
+				name += " (" + strings.Join(p.Aliases, ", ") + ")"
+			}
+			fmt.Printf("%-28s %s\n", name, p.Doc)
 		}
 		return
 	}
@@ -102,7 +117,13 @@ func main() {
 		fatal(err)
 	}
 
-	diags := analysis.NewRunner(prog).Run(passes, pkgs)
+	runner := analysis.NewRunner(prog)
+	diags := runner.Run(passes, pkgs)
+	if *timingFlag {
+		for _, t := range runner.Timings() {
+			fmt.Fprintf(os.Stderr, "proram-vet: timing %-20s %s\n", t.Name, t.Elapsed.Round(10*time.Microsecond))
+		}
+	}
 	if *jsonFlag {
 		if err := writeJSON(os.Stdout, prog, passes, root, diags); err != nil {
 			fatal(err)

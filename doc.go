@@ -43,9 +43,10 @@
 //
 // suppresses the named checks (determinism, maporder, oblivious,
 // panicdiscipline, seedplumbing, allocdiscipline, goroutinediscipline,
-// lockorder, concdeterminism, allowhygiene) on the same line or the line
-// directly below; written before the package clause it covers the whole
-// file. The reason is mandatory in spirit and audited in review.
+// lockorder, concdeterminism, fixedtrip, branchless, boundscheck,
+// allowhygiene) on the same line or the line directly below; written
+// before the package clause it covers the whole file. The reason is
+// mandatory in spirit and audited in review.
 //
 //	//proram:hotpath <reason>
 //
@@ -60,7 +61,33 @@
 // panics are exempt (failure handling, not steady state), as are callees
 // that are themselves marked hot (checked in their own right) and helper
 // allocations justified with //proram:allow allocdiscipline (exempt for
-// every hot caller at once).
+// every hot caller at once). The boundscheck pass shares the mark: every
+// slice or array indexing in a hot function must be provable in-bounds
+// by the SSA value-range layer — by interval, by a dominating
+// comparison, or by the _ = s[max] pin idiom — so the compiler's
+// bounds-check elimination has the same facts the prover verified.
+//
+//	//proram:fixedtrip <reason>
+//
+// on the line directly above a for or range statement claims the loop's
+// trip count is fixed before the loop starts and independent of secret
+// data — the padding loops the obliviousness contract rests on. The
+// fixedtrip pass verifies the claim statically: a counted loop must
+// compare its counter against a loop-invariant non-secret bound with a
+// single step per iteration and no early exit, and a range loop must
+// iterate a non-secret slice, array, string or integer (maps and
+// iterators are rejected). Unmarked loops in the oblivious scope are
+// still screened for secret-steered bounds and containers.
+//
+//	//proram:branchless <reason>
+//
+// in a function's doc comment requires the function — and everything it
+// calls — to be free of data-dependent control flow: no if/switch/select
+// on values derived from the function's inputs or secret payload bytes,
+// no short-circuit &&/||, no map probes, no variable shifts, no min/max
+// builtins that may compile to a branch. math/bits and crypto/subtle
+// are trusted primitives; a marked
+// callee is checked in its own right; //proram:public declassifies.
 //
 //	//proram:invariant <justification>
 //

@@ -35,8 +35,9 @@ import (
 // caller.
 func AllocDiscipline() *Pass {
 	p := &Pass{
-		Name: "allocdiscipline",
-		Doc:  "functions marked //proram:hotpath must not allocate on the heap, directly or through module-local callees",
+		Name:    "allocdiscipline",
+		Aliases: []string{"alloc"},
+		Doc:     "functions marked //proram:hotpath must not allocate on the heap, directly or through module-local callees",
 	}
 	p.Run = func(u *Unit) {
 		cg := u.Prog.CallGraph()

@@ -30,6 +30,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, resolved to a concrete source position.
@@ -48,12 +49,14 @@ func (d Diagnostic) String() string {
 // optional Finish hook runs after every package has been visited and may
 // consult cross-package state accumulated on the Runner (only the
 // allowhygiene pass uses it, to flag suppressions that suppressed
-// nothing).
+// nothing). Aliases are accepted by SelectPasses as shorthand for the
+// canonical name; diagnostics and //proram:allow always use Name.
 type Pass struct {
-	Name   string
-	Doc    string
-	Run    func(u *Unit)
-	Finish func(r *Runner)
+	Name    string
+	Aliases []string
+	Doc     string
+	Run     func(u *Unit)
+	Finish  func(r *Runner)
 }
 
 // Unit is the context handed to a pass for one package.
@@ -81,12 +84,20 @@ func (u *Unit) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// PassTiming is the wall-clock cost of one pass across every analyzed
+// package (Run calls plus the Finish hook).
+type PassTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Runner executes passes over packages and collects diagnostics.
 type Runner struct {
 	prog     *Program
 	diags    []Diagnostic
 	analyzed []*Package
 	executed map[string]bool
+	timings  []PassTiming
 }
 
 // NewRunner prepares a run over the given program.
@@ -99,20 +110,28 @@ func NewRunner(prog *Program) *Runner {
 // Runner.
 func (r *Runner) Run(passes []*Pass, pkgs []*Package) []Diagnostic {
 	r.analyzed = pkgs
+	elapsed := make([]time.Duration, len(passes))
 	for _, p := range passes {
 		r.executed[p.Name] = true
 	}
 	for _, pkg := range pkgs {
-		for _, p := range passes {
+		for i, p := range passes {
 			if p.Run != nil {
+				start := time.Now() //proram:allow determinism timing instruments the analyzer itself, never simulator output
 				p.Run(&Unit{Pass: p, Pkg: pkg, Prog: r.prog, r: r})
+				elapsed[i] += time.Since(start) //proram:allow determinism timing instruments the analyzer itself, never simulator output
 			}
 		}
 	}
-	for _, p := range passes {
+	for i, p := range passes {
 		if p.Finish != nil {
+			start := time.Now() //proram:allow determinism timing instruments the analyzer itself, never simulator output
 			p.Finish(r)
+			elapsed[i] += time.Since(start) //proram:allow determinism timing instruments the analyzer itself, never simulator output
 		}
+	}
+	for i, p := range passes {
+		r.timings = append(r.timings, PassTiming{Name: p.Name, Elapsed: elapsed[i]})
 	}
 	sort.Slice(r.diags, func(i, j int) bool {
 		a, b := r.diags[i], r.diags[j]
@@ -130,6 +149,10 @@ func (r *Runner) Run(passes []*Pass, pkgs []*Package) []Diagnostic {
 	return r.diags
 }
 
+// Timings returns the per-pass wall-clock cost of the completed Run, in
+// pass order.
+func (r *Runner) Timings() []PassTiming { return r.timings }
+
 // DefaultPasses returns every pass in its canonical order. The
 // allowhygiene pass must come last so its Finish hook sees which
 // suppressions the other passes consumed.
@@ -144,6 +167,9 @@ func DefaultPasses() []*Pass {
 		GoroutineDiscipline(),
 		LockOrder(),
 		ConcDeterminism(),
+		FixedTrip(),
+		Branchless(),
+		BoundsCheck(),
 		AllowHygiene(),
 	}
 }
@@ -159,8 +185,10 @@ func PassNames() []string {
 }
 
 // SelectPasses filters DefaultPasses down to the named checks ("" keeps
-// everything). Unknown and duplicate names are errors — a duplicated
-// check would run twice and double every diagnostic it produces.
+// everything). Aliases resolve to their canonical pass. Unknown and
+// duplicate names are errors — a duplicated check would run twice and
+// double every diagnostic it produces; naming a pass by both its name
+// and an alias counts as a duplicate.
 func SelectPasses(checks string) ([]*Pass, error) {
 	all := DefaultPasses()
 	if checks == "" {
@@ -169,6 +197,9 @@ func SelectPasses(checks string) ([]*Pass, error) {
 	byName := make(map[string]*Pass, len(all))
 	for _, p := range all {
 		byName[p.Name] = p
+		for _, a := range p.Aliases {
+			byName[a] = p
+		}
 	}
 	seen := make(map[string]bool)
 	var out []*Pass
@@ -179,12 +210,20 @@ func SelectPasses(checks string) ([]*Pass, error) {
 		}
 		p, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("analysis: unknown check %q (known: %s)", name, strings.Join(PassNames(), ", "))
+			var known []string
+			for _, q := range all {
+				s := q.Name
+				if len(q.Aliases) > 0 {
+					s += " (" + strings.Join(q.Aliases, ", ") + ")"
+				}
+				known = append(known, s)
+			}
+			return nil, fmt.Errorf("analysis: unknown check %q (known: %s)", name, strings.Join(known, ", "))
 		}
-		if seen[name] {
-			return nil, fmt.Errorf("analysis: check %q named twice in -checks", name)
+		if seen[p.Name] {
+			return nil, fmt.Errorf("analysis: check %q named twice in -checks (aliases resolve to the same pass)", p.Name)
 		}
-		seen[name] = true
+		seen[p.Name] = true
 		out = append(out, p)
 	}
 	return out, nil

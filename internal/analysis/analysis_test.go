@@ -220,6 +220,18 @@ func TestAllowHygieneFixture(t *testing.T) {
 	runFixture(t, DefaultPasses(), fixtureBase+"allowhygiene")
 }
 
+func TestFixedTripFixture(t *testing.T) {
+	runFixture(t, []*Pass{FixedTrip(fixtureBase + "fixedtrip")}, fixtureBase+"fixedtrip")
+}
+
+func TestBranchlessFixture(t *testing.T) {
+	runFixture(t, []*Pass{Branchless()}, fixtureBase+"branchless")
+}
+
+func TestBoundsCheckFixture(t *testing.T) {
+	runFixture(t, []*Pass{BoundsCheck()}, fixtureBase+"boundscheck")
+}
+
 func TestSelectPasses(t *testing.T) {
 	if _, err := SelectPasses("determinism,nosuch"); err == nil {
 		t.Fatal("unknown check did not error")
@@ -237,6 +249,21 @@ func TestSelectPasses(t *testing.T) {
 	all, err := SelectPasses("")
 	if err != nil || len(all) != len(DefaultPasses()) {
 		t.Fatalf("empty selection: %v, %d passes", err, len(all))
+	}
+
+	// Aliases resolve to their pass and share its duplicate slot.
+	ps, err = SelectPasses("trip,ct,bce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 || ps[0].Name != "fixedtrip" || ps[1].Name != "branchless" || ps[2].Name != "boundscheck" {
+		t.Fatalf("alias selection returned %v", ps)
+	}
+	if _, err := SelectPasses("fixedtrip,trip"); err == nil {
+		t.Fatal("alias+name duplicate did not error")
+	}
+	if _, err := SelectPasses("nosuch"); err == nil || !strings.Contains(err.Error(), "boundscheck (bce)") {
+		t.Fatalf("unknown-check error should list names with aliases, got: %v", err)
 	}
 }
 

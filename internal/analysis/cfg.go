@@ -25,12 +25,30 @@ type cfgBlock struct {
 	nodes  []ast.Node
 	succs  []*cfgBlock
 	panics bool
+
+	// Branch-edge roles for the value-range layer (ssa.go, vrange.go).
+	// When the block ends in a two-way conditional, branchCond is the
+	// condition (the same expression already present in nodes — these
+	// fields record edge roles only, so clients walking nodes still see
+	// every node exactly once) and branchTrue/branchFalse are the
+	// successors taken on each outcome. rangeLoop is set on the head
+	// block of a range statement, with rangeBody its body successor.
+	branchCond  ast.Expr
+	branchTrue  *cfgBlock
+	branchFalse *cfgBlock
+	rangeLoop   *ast.RangeStmt
+	rangeBody   *cfgBlock
 }
 
 // funcCFG is the control-flow graph of one function body.
 type funcCFG struct {
 	entry  *cfgBlock
 	blocks []*cfgBlock
+
+	// loops maps each for/range statement to its head block (the block
+	// holding the condition, or the per-iteration dispatch block of a
+	// range), so loop-oriented clients can find natural-loop membership.
+	loops map[ast.Stmt]*cfgBlock
 }
 
 // doomed returns, per block index, whether every path from the block
@@ -93,7 +111,7 @@ type cfgGoto struct {
 
 // buildCFG constructs the graph for one function or literal body.
 func buildCFG(info *types.Info, body *ast.BlockStmt) *funcCFG {
-	b := &cfgBuilder{info: info, g: &funcCFG{}, labels: make(map[string]*cfgBlock)}
+	b := &cfgBuilder{info: info, g: &funcCFG{loops: make(map[ast.Stmt]*cfgBlock)}, labels: make(map[string]*cfgBlock)}
 	b.cur = b.newBlock()
 	b.g.entry = b.cur
 	b.stmtList(body.List)
@@ -176,14 +194,17 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		b.cur = then
 		b.stmt(s.Body)
 		b.link(b.cur, join)
+		cond.branchCond, cond.branchTrue = s.Cond, then
 		if s.Else != nil {
 			els := b.newBlock()
 			b.link(cond, els)
 			b.cur = els
 			b.stmt(s.Else)
 			b.link(b.cur, join)
+			cond.branchFalse = els
 		} else {
 			b.link(cond, join)
+			cond.branchFalse = join
 		}
 		b.cur = join
 
@@ -196,11 +217,13 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		b.link(b.ensure(), head)
 		b.cur = head
 		b.emit(s.Cond)
+		b.g.loops[s] = head
 		body := b.newBlock()
 		exit := b.newBlock()
 		b.link(head, body)
 		if s.Cond != nil {
 			b.link(head, exit)
+			head.branchCond, head.branchTrue, head.branchFalse = s.Cond, body, exit
 		}
 		cont := head
 		var post *cfgBlock
@@ -227,10 +250,12 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		b.emit(s.X)
 		head := b.newBlock()
 		b.link(b.ensure(), head)
+		b.g.loops[s] = head
 		body := b.newBlock()
 		exit := b.newBlock()
 		b.link(head, body)
 		b.link(head, exit)
+		head.rangeLoop, head.rangeBody = s, body
 		b.frames = append(b.frames, cfgFrame{label: label, breakTgt: exit, contTgt: head})
 		b.cur = body
 		b.stmt(s.Body)

@@ -144,3 +144,224 @@ func f(x int) int {
 		t.Fatalf("expected one panicking clause, got %d", panicking)
 	}
 }
+
+// TestCFGGoto proves a backward goto forms a cycle in the graph: the
+// label block must be reachable from itself.
+func TestCFGGoto(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}
+`)
+	cyclic := false
+	for _, b := range g.blocks {
+		seen := make(map[int]bool)
+		stack := []*cfgBlock{b}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range cur.succs {
+				if s == b {
+					cyclic = true
+				}
+				if !seen[s.index] {
+					seen[s.index] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		if cyclic {
+			break
+		}
+	}
+	if !cyclic {
+		t.Fatal("backward goto produced no cycle in the CFG")
+	}
+	if d := g.doomed(); d[g.entry.index] {
+		t.Fatal("entry doomed in a panic-free function")
+	}
+}
+
+// TestCFGLabeledBreakContinue exercises labeled frames: both loops
+// register in g.loops, continue outer adds a second edge into the outer
+// head, and break outer routes past it without dooming anything.
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}
+`)
+	if len(g.loops) != 2 {
+		t.Fatalf("expected both loops registered, got %d", len(g.loops))
+	}
+	// Tell the loops apart by position: the outer for statement encloses
+	// the inner one.
+	var outerHead, innerHead *cfgBlock
+	var outerStmt ast.Stmt
+	for s, head := range g.loops {
+		if outerStmt == nil || s.Pos() < outerStmt.Pos() {
+			if outerHead != nil {
+				innerHead = outerHead
+			}
+			outerStmt, outerHead = s, head
+		} else {
+			innerHead = head
+		}
+	}
+	if outerHead == nil || innerHead == nil || outerHead == innerHead {
+		t.Fatal("could not tell the two loop heads apart")
+	}
+	// reaches reports whether from can reach to along edges that skip the
+	// avoid block.
+	reaches := func(from, to, avoid *cfgBlock) bool {
+		seen := make(map[int]bool)
+		stack := []*cfgBlock{from}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == to {
+				return true
+			}
+			if cur == avoid || seen[cur.index] {
+				continue
+			}
+			seen[cur.index] = true
+			stack = append(stack, cur.succs...)
+		}
+		return false
+	}
+	npreds := make(map[*cfgBlock]int)
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			npreds[s]++
+		}
+	}
+	// continue outer targets the outer post block — the predecessor of
+	// the outer head that sits inside the loop. It picks up a second
+	// incoming edge beyond the inner loop's normal exit path.
+	var outerPost *cfgBlock
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			if s == outerHead && reaches(outerHead, b, nil) {
+				outerPost = b
+			}
+		}
+	}
+	if outerPost == nil {
+		t.Fatal("the outer loop has no in-loop predecessor of its head")
+	}
+	if npreds[outerPost] < 2 {
+		t.Fatalf("continue outer should add a second edge into the outer post block, in-degree is %d", npreds[outerPost])
+	}
+	// break outer targets the outer exit — the head successor that cannot
+	// loop back — giving it an edge beyond the head's own exit edge.
+	var outerExit *cfgBlock
+	for _, s := range outerHead.succs {
+		if !reaches(s, outerHead, nil) {
+			outerExit = s
+		}
+	}
+	if outerExit == nil {
+		t.Fatal("the outer loop has no exit successor")
+	}
+	if npreds[outerExit] < 2 {
+		t.Fatalf("break outer should add a second edge into the outer exit, in-degree is %d", npreds[outerExit])
+	}
+	if d := g.doomed(); d[g.entry.index] {
+		t.Fatal("entry doomed in a panic-free function")
+	}
+}
+
+// TestCFGRangeOverInt proves range-over-int builds the same head/body
+// shape as ranging over a container.
+func TestCFGRangeOverInt(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(n int) int {
+	s := 0
+	for i := range n {
+		s += i
+	}
+	return s
+}
+`)
+	if len(g.loops) != 1 {
+		t.Fatalf("expected one loop, got %d", len(g.loops))
+	}
+	var head *cfgBlock
+	for _, b := range g.blocks {
+		if b.rangeLoop != nil {
+			if head != nil {
+				t.Fatal("more than one range head")
+			}
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no block carries the range statement")
+	}
+	if head.rangeBody == nil {
+		t.Fatal("range head has no body successor")
+	}
+	bodyIsSucc := false
+	for _, s := range head.succs {
+		if s == head.rangeBody {
+			bodyIsSucc = true
+		}
+	}
+	if !bodyIsSucc {
+		t.Fatal("rangeBody is not among the head's successors")
+	}
+}
+
+// TestCFGDoomedLoop: a loop whose body always panics dooms the body but
+// not the head — the zero-iteration exit is still a normal return.
+func TestCFGDoomedLoop(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		panic("boom")
+	}
+}
+`)
+	d := g.doomed()
+	panicking := 0
+	for i, b := range g.blocks {
+		if b.panics {
+			panicking++
+			if !d[i] {
+				t.Errorf("panicking loop body %d not doomed", i)
+			}
+		}
+	}
+	if panicking != 1 {
+		t.Fatalf("expected one panicking block, got %d", panicking)
+	}
+	if d[g.entry.index] {
+		t.Fatal("entry doomed: the loop can run zero times")
+	}
+	for s, head := range g.loops {
+		_ = s
+		if d[head.index] {
+			t.Fatal("loop head doomed: the exit edge survives")
+		}
+	}
+}

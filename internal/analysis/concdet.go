@@ -42,8 +42,9 @@ func ConcDeterminism(roots ...string) *Pass {
 	var once sync.Once
 	var reachable map[*CGNode]bool
 	p := &Pass{
-		Name: "concdeterminism",
-		Doc:  "flag scheduling-ordered concurrency (multi-case selects, fan-in receives, spawn-order results) outside the round-barrier protocol",
+		Name:    "concdeterminism",
+		Aliases: []string{"concdet"},
+		Doc:     "flag scheduling-ordered concurrency (multi-case selects, fan-in receives, spawn-order results) outside the round-barrier protocol",
 	}
 	p.Run = func(u *Unit) {
 		once.Do(func() { reachable = reachableFrom(u.Prog, roots) })

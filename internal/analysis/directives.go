@@ -14,6 +14,8 @@ import (
 //	//proram:secret                                mark a struct field as secret
 //	//proram:hotpath <reason>                      demand an allocation-free function
 //	//proram:detround <reason>                     determinism guaranteed by the round barrier
+//	//proram:fixedtrip <reason>                    demand a provably fixed loop trip count
+//	//proram:branchless <reason>                   demand a secret-branch-free function
 //
 // An allow or public directive applies to the line it sits on and to the
 // line immediately below it (so it can be written either as a trailing
@@ -97,20 +99,26 @@ func (p *Package) directiveAt(kind, file string, line int) *Directive {
 	return nil
 }
 
-// hotpathDirective returns the //proram:hotpath directive attached to a
+// funcDirective returns the directive of the given kind attached to a
 // function declaration: anywhere in its doc comment, or on the line of
 // the func keyword itself. (gofmt folds a comment line directly above a
 // declaration into its doc comment, so "the line above" is covered.)
-func (p *Package) hotpathDirective(fset *token.FileSet, fn *ast.FuncDecl) *Directive {
+func (p *Package) funcDirective(fset *token.FileSet, fn *ast.FuncDecl, kind string) *Directive {
 	declPos := fset.Position(fn.Pos())
 	start := declPos.Line
 	if fn.Doc != nil && len(fn.Doc.List) > 0 {
 		start = fset.Position(fn.Doc.Pos()).Line
 	}
 	for _, d := range p.Directives {
-		if d.Kind == "hotpath" && d.File == declPos.Filename && d.Line >= start && d.Line <= declPos.Line {
+		if d.Kind == kind && d.File == declPos.Filename && d.Line >= start && d.Line <= declPos.Line {
 			return d
 		}
 	}
 	return nil
+}
+
+// hotpathDirective returns the //proram:hotpath directive attached to a
+// function declaration.
+func (p *Package) hotpathDirective(fset *token.FileSet, fn *ast.FuncDecl) *Directive {
+	return p.funcDirective(fset, fn, "hotpath")
 }

@@ -34,8 +34,9 @@ import (
 // WaitGroup-joined worker pool mutating its own receiver stays quiet.
 func GoroutineDiscipline() *Pass {
 	p := &Pass{
-		Name: "goroutinediscipline",
-		Doc:  "flag unsynchronized writes to variables shared across goroutine spawn sites",
+		Name:    "goroutinediscipline",
+		Aliases: []string{"goroutines"},
+		Doc:     "flag unsynchronized writes to variables shared across goroutine spawn sites",
 	}
 	p.Run = func(u *Unit) {
 		for _, site := range u.Prog.spawnSites() {

@@ -58,6 +58,12 @@ type Program struct {
 	locks    *lockSummaries
 	goOnce   sync.Once
 	spawns   []*spawnSite
+
+	// Per-function SSA and value-range views (ssa.go, vrange.go), built
+	// lazily the first time a pass asks about a function.
+	ssaMu   sync.Mutex
+	ssaMemo map[*ast.FuncDecl]*ssaFunc
+	vrMemo  map[*ast.FuncDecl]*vrangeFunc
 }
 
 // relPosition renders a position module-relative with forward slashes,

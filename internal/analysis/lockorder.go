@@ -33,8 +33,9 @@ func LockOrder() *Pass {
 	var once sync.Once
 	var perPkg map[*Package][]lockFinding
 	p := &Pass{
-		Name: "lockorder",
-		Doc:  "flag lock/unlock imbalance on any CFG path and lock-acquisition-order cycles (interprocedural)",
+		Name:    "lockorder",
+		Aliases: []string{"locks"},
+		Doc:     "flag lock/unlock imbalance on any CFG path and lock-acquisition-order cycles (interprocedural)",
 	}
 	p.Run = func(u *Unit) {
 		once.Do(func() { perPkg = lockOrderFindings(u.Prog) })

@@ -24,8 +24,9 @@ import (
 // maporder directive with a reason.
 func MapOrder() *Pass {
 	p := &Pass{
-		Name: "maporder",
-		Doc:  "flag order-sensitive iteration over Go maps in library packages",
+		Name:    "maporder",
+		Aliases: []string{"maps"},
+		Doc:     "flag order-sensitive iteration over Go maps in library packages",
 	}
 	p.Run = func(u *Unit) {
 		if u.Pkg.Name == "main" {

@@ -51,8 +51,9 @@ func Oblivious(scopes ...string) *Pass {
 		scopes = []string{"internal/oram", "internal/stash", "internal/shard", "internal/dram/banked"}
 	}
 	p := &Pass{
-		Name: "oblivious",
-		Doc:  "flag branches, memory indexes and observability emissions that depend on secret block payload bytes (interprocedural)",
+		Name:    "oblivious",
+		Aliases: []string{"taint"},
+		Doc:     "flag branches, memory indexes and observability emissions that depend on secret block payload bytes (interprocedural)",
 	}
 	p.Run = func(u *Unit) {
 		if !inScope(u.Pkg.Rel, scopes) {

@@ -14,8 +14,9 @@ import (
 // //proram:invariant directive with a one-line justification.
 func PanicDiscipline() *Pass {
 	p := &Pass{
-		Name: "panicdiscipline",
-		Doc:  "require error returns or //proram:invariant justifications instead of library panics",
+		Name:    "panicdiscipline",
+		Aliases: []string{"panics"},
+		Doc:     "require error returns or //proram:invariant justifications instead of library panics",
 	}
 	p.Run = func(u *Unit) {
 		if u.Pkg.Name == "main" {

@@ -24,8 +24,9 @@ import (
 // constructor, are not re-reported.
 func SeedPlumbing() *Pass {
 	p := &Pass{
-		Name: "seedplumbing",
-		Doc:  "exported constructors must thread caller-supplied seeds into rng construction (call-graph reachability)",
+		Name:    "seedplumbing",
+		Aliases: []string{"seed"},
+		Doc:     "exported constructors must thread caller-supplied seeds into rng construction (call-graph reachability)",
 	}
 	p.Run = func(u *Unit) {
 		rngPath := u.Prog.ModulePath + "/internal/rng"

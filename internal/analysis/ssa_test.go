@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildTestSSA type-checks a single-function snippet and returns the
+// SSA view of its first function declaration.
+func buildTestSSA(t *testing.T, src string) *ssaFunc {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ssafixture.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	if _, err := (&types.Config{}).Check("ssafixture", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Name: "ssafixture", Info: info}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			return buildSSA(pkg, fn)
+		}
+	}
+	t.Fatal("no function in snippet")
+	return nil
+}
+
+// objByName finds the unique variable object with the given name.
+func objByName(t *testing.T, f *ssaFunc, name string) types.Object {
+	t.Helper()
+	var found types.Object
+	for _, obj := range f.pkg.Info.Defs {
+		if obj != nil && obj.Name() == name {
+			if found != nil && found != obj {
+				t.Fatalf("variable %s defined twice in snippet", name)
+			}
+			found = obj
+		}
+	}
+	if found == nil {
+		t.Fatalf("no variable %s in snippet", name)
+	}
+	return found
+}
+
+func TestSSADominators(t *testing.T) {
+	f := buildTestSSA(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}
+`)
+	if f.idom[f.cfg.entry.index] != f.cfg.entry.index {
+		t.Fatal("entry must be its own immediate dominator")
+	}
+	// The join block is the one merging both arms; its immediate
+	// dominator is the branching entry, not either arm.
+	join := -1
+	for i := range f.cfg.blocks {
+		if f.reach[i] && len(f.preds[i]) == 2 {
+			if join != -1 {
+				t.Fatal("expected a single two-predecessor join block")
+			}
+			join = i
+		}
+	}
+	if join == -1 {
+		t.Fatal("no join block found")
+	}
+	// Neither arm dominates the join; its immediate dominator is the
+	// branching block above both, whichever block that condition landed in.
+	for _, p := range f.preds[join] {
+		if f.idom[join] == p {
+			t.Fatalf("join block %d is immediately dominated by one arm (%d)", join, p)
+		}
+		if !f.dominates(f.idom[join], p) {
+			t.Fatalf("idom %d of the join does not dominate arm %d", f.idom[join], p)
+		}
+	}
+	for i := range f.cfg.blocks {
+		if f.reach[i] && i != f.cfg.entry.index && !f.dominates(f.cfg.entry.index, i) {
+			t.Fatalf("entry does not dominate reachable block %d", i)
+		}
+	}
+}
+
+func TestSSAPhiPlacementDiamond(t *testing.T) {
+	f := buildTestSSA(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}
+`)
+	var phis []*ssaValue
+	for _, bp := range f.phis {
+		phis = append(phis, bp...)
+	}
+	if len(phis) != 1 {
+		t.Fatalf("expected exactly one phi for x, got %d", len(phis))
+	}
+	phi := phis[0]
+	if phi.obj != objByName(t, f, "x") {
+		t.Fatalf("phi is for %v, want x", phi.obj)
+	}
+	if len(phi.phiArgs) != 2 {
+		t.Fatalf("phi has %d args, want 2", len(phi.phiArgs))
+	}
+	for _, a := range phi.phiArgs {
+		if a < 0 {
+			t.Fatal("both phi arguments must be defined: x is assigned on every path")
+		}
+		if f.vals[a].kind != ssaExpr {
+			t.Fatalf("phi argument kind %d, want ssaExpr", f.vals[a].kind)
+		}
+	}
+	// The use in `return x` resolves to the phi, not either arm.
+	resolved := false
+	for id, vid := range f.useOf {
+		if id.Name == "x" && vid == phi.id {
+			resolved = true
+		}
+	}
+	if !resolved {
+		t.Fatal("the merged read of x does not resolve to its phi")
+	}
+}
+
+func TestSSALoopPhiAndStep(t *testing.T) {
+	f := buildTestSSA(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`)
+	iObj := objByName(t, f, "i")
+	sObj := objByName(t, f, "s")
+	var iPhi, sPhi *ssaValue
+	for _, bp := range f.phis {
+		for _, phi := range bp {
+			switch phi.obj {
+			case iObj:
+				iPhi = phi
+			case sObj:
+				sPhi = phi
+			}
+		}
+	}
+	if iPhi == nil || sPhi == nil {
+		t.Fatalf("loop head phis missing: i=%v s=%v", iPhi, sPhi)
+	}
+	// The step i++ reads the head phi and the phi folds the step back in.
+	var step *ssaValue
+	for _, v := range f.vals {
+		if v.kind == ssaStep && v.obj == iObj {
+			step = v
+		}
+	}
+	if step == nil {
+		t.Fatal("no ssaStep for i++")
+	}
+	if step.op != token.ADD || step.expr != nil {
+		t.Fatalf("i++ should normalize to ADD with nil expr, got %v %v", step.op, step.expr)
+	}
+	if step.operand != iPhi.id {
+		t.Fatalf("step reads value %d, want the head phi %d", step.operand, iPhi.id)
+	}
+	foldsBack := false
+	for _, a := range iPhi.phiArgs {
+		if a == step.id {
+			foldsBack = true
+		}
+	}
+	if !foldsBack {
+		t.Fatal("the back edge does not carry the stepped i into the phi")
+	}
+}
+
+func TestSSALoopBlocks(t *testing.T) {
+	f := buildTestSSA(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			s++
+		}
+		s += i
+	}
+	return s
+}
+`)
+	if len(f.cfg.loops) != 1 {
+		t.Fatalf("expected one loop, got %d", len(f.cfg.loops))
+	}
+	for _, head := range f.cfg.loops {
+		loop := f.loopBlocks(head.index)
+		if !loop[head.index] {
+			t.Fatal("loop must contain its head")
+		}
+		if len(loop) < 3 {
+			t.Fatalf("loop with a branch in the body should span at least 3 blocks, got %d", len(loop))
+		}
+		for bi := range loop {
+			if !f.dominates(head.index, bi) {
+				t.Fatalf("natural loop block %d is not dominated by the head", bi)
+			}
+		}
+	}
+}
+
+func TestSSAAddressTakenUntracked(t *testing.T) {
+	f := buildTestSSA(t, `package p
+func f() int {
+	x := 1
+	p := &x
+	*p = 2
+	return x
+}
+`)
+	if f.tracked[objByName(t, f, "x")] {
+		t.Fatal("x's address escapes; it must not be tracked")
+	}
+}
+
+func TestSSAElementAddressKeepsTracking(t *testing.T) {
+	f := buildTestSSA(t, `package p
+func f(s []int) int {
+	e := &s[0]
+	*e = 2
+	return s[1]
+}
+`)
+	if !f.tracked[objByName(t, f, "s")] {
+		t.Fatal("&s[0] escapes one element, not the slice header; s must stay tracked")
+	}
+}
+
+func TestSSARangeOverIntKey(t *testing.T) {
+	f := buildTestSSA(t, `package p
+func f(n int) int {
+	s := 0
+	for i := range n {
+		s += i
+	}
+	return s
+}
+`)
+	iObj := objByName(t, f, "i")
+	var key *ssaValue
+	for _, v := range f.vals {
+		if v.kind == ssaRangeKey && v.obj == iObj {
+			key = v
+		}
+	}
+	if key == nil {
+		t.Fatal("range-over-int key has no ssaRangeKey definition")
+	}
+	resolved := false
+	for id, vid := range f.useOf {
+		if id.Name == "i" && vid == key.id {
+			resolved = true
+		}
+	}
+	if !resolved {
+		t.Fatal("the body's read of i does not resolve to the range key binding")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sync"
 )
 
 // This file computes bottom-up interprocedural function summaries over
@@ -101,6 +102,70 @@ type funcSummary struct {
 type summaries struct {
 	prog   *Program
 	byFunc map[*types.Func]*funcSummary
+
+	envMu sync.Mutex
+	envs  map[*types.Func]*taintEnv
+}
+
+// maskEnv returns a taint environment whose object state sits at the
+// function's fixpoint — the same state analyze converges to — so
+// clients can evaluate exprMask at arbitrary expressions of the body.
+// The fixedtrip and branchless passes use it to ask "is this loop bound
+// or branch condition derived from a secret or a parameter?" without
+// re-deriving the propagation rules. Environments are cached per
+// function; the underlying summaries are already final, so one
+// propagation fixpoint rebuilds the state exactly.
+func (s *summaries) maskEnv(n *CGNode) *taintEnv {
+	s.envMu.Lock()
+	defer s.envMu.Unlock()
+	if s.envs == nil {
+		s.envs = make(map[*types.Func]*taintEnv)
+	}
+	if e, ok := s.envs[n.Fn]; ok {
+		return e
+	}
+	e := s.newEnv(n)
+	for i := 0; i < 64; i++ {
+		if !e.propagate() {
+			break
+		}
+	}
+	s.envs[n.Fn] = e
+	return e
+}
+
+// newEnv builds the initial per-function taint state: parameters carry
+// their own bits, function-literal parameters are opaque.
+func (s *summaries) newEnv(n *CGNode) *taintEnv {
+	e := &taintEnv{
+		s:        s,
+		n:        n,
+		sum:      s.byFunc[n.Fn],
+		state:    make(map[types.Object]originMask),
+		paramIdx: make(map[types.Object]int),
+	}
+	for i, p := range n.Params {
+		e.paramIdx[p] = i
+		e.state[p] = paramBit(i)
+	}
+	// Function-literal parameters are caller-controlled at a level this
+	// summary cannot express; mark them opaque so derivations neither
+	// look secret nor look internally fabricated.
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := n.Pkg.Info.Defs[name]; obj != nil {
+					e.state[obj] = opaqueOrigin
+				}
+			}
+		}
+		return true
+	})
+	return e
 }
 
 // taintSummaries builds (once) the summaries for every declared
@@ -146,36 +211,7 @@ func (s *summaries) isObsPkg(pkg *types.Package) bool {
 // analyze recomputes one function against the current callee summaries
 // and reports whether its own summary grew.
 func (s *summaries) analyze(n *CGNode) bool {
-	sum := s.byFunc[n.Fn]
-	e := &taintEnv{
-		s:        s,
-		n:        n,
-		sum:      sum,
-		state:    make(map[types.Object]originMask),
-		paramIdx: make(map[types.Object]int),
-	}
-	for i, p := range n.Params {
-		e.paramIdx[p] = i
-		e.state[p] = paramBit(i)
-	}
-	// Function-literal parameters are caller-controlled at a level this
-	// summary cannot express; mark them opaque so derivations neither
-	// look secret nor look internally fabricated.
-	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
-		lit, ok := x.(*ast.FuncLit)
-		if !ok {
-			return true
-		}
-		for _, field := range lit.Type.Params.List {
-			for _, name := range field.Names {
-				if obj := n.Pkg.Info.Defs[name]; obj != nil {
-					e.state[obj] = opaqueOrigin
-				}
-			}
-		}
-		return true
-	})
-
+	e := s.newEnv(n)
 	for i := 0; i < 64; i++ {
 		if !e.propagate() {
 			break

@@ -1,0 +1,99 @@
+// Package boundscheck is a proram-vet golden fixture for the
+// bounds-proof pass: in //proram:hotpath functions every slice and array
+// indexing must be provably in-bounds — by interval, by a dominating
+// comparison, or by the _ = s[max] pin idiom.
+package boundscheck
+
+// unproven indexes by a raw parameter.
+//
+//proram:hotpath fixture
+func unproven(s []uint64, i int) uint64 {
+	return s[i] // want `cannot prove s\[i\] stays in bounds`
+}
+
+// guarded dominates the indexing with an explicit check.
+//
+//proram:hotpath fixture
+func guarded(s []uint64, i int) uint64 {
+	if i >= 0 && i < len(s) {
+		return s[i]
+	}
+	return 0
+}
+
+// pinned uses the pin idiom: one indexing names the maximum, every
+// later indexing up to it is covered.
+//
+//proram:hotpath fixture
+func pinned(s []uint64, n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	_ = s[n-1]
+	var total uint64
+	for i := 0; i < n; i++ {
+		total += s[i]
+	}
+	return total
+}
+
+// ranged loops are in-bounds by construction.
+//
+//proram:hotpath fixture
+func ranged(s []uint64) uint64 {
+	var total uint64
+	for i := range s {
+		total += s[i]
+	}
+	return total
+}
+
+// arrayConst indexes an array with provable constants.
+//
+//proram:hotpath fixture
+func arrayConst(a [4]uint64) uint64 {
+	return a[0] + a[3]
+}
+
+// arrayOver indexes past a constant length.
+//
+//proram:hotpath fixture
+func arrayOver(a [4]uint64) uint64 {
+	i := 5
+	return a[i] // want `cannot prove a\[i\] stays below the length`
+}
+
+// negativeStep walks an index downward with no lower guard.
+//
+//proram:hotpath fixture
+func negativeStep(s []uint64, i int) uint64 {
+	j := i - 1
+	if j < len(s) {
+		return s[j] // want `cannot prove s\[j\] stays non-negative`
+	}
+	return 0
+}
+
+// modLen is safe arithmetically, but the prover does not model
+// remainders against len; the pin idiom is the documented remedy, and
+// the finding here is the expected behavior.
+//
+//proram:hotpath fixture
+func modLen(s []uint64, x uint64) uint64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[int(x)%len(s)] // want `cannot prove`
+}
+
+// allowed carries a justified suppression.
+//
+//proram:hotpath fixture
+func allowed(s []uint64, i int) uint64 {
+	return s[i] //proram:allow boundscheck fixture: the caller guarantees i by protocol
+}
+
+// coldPath is not marked, so it carries no obligations.
+func coldPath(s []uint64, i int) uint64 {
+	return s[i]
+}

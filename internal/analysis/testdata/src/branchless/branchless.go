@@ -1,0 +1,126 @@
+// Package branchless is a proram-vet golden fixture for the
+// constant-time pass: a //proram:branchless function (and everything it
+// calls) must not branch, select, short-circuit, probe a map, or shift
+// by a variable amount on values derived from its inputs or from secret
+// payload bytes.
+package branchless
+
+import "math/bits"
+
+type blk struct {
+	//proram:secret fixture payload bytes
+	data []byte
+}
+
+// ctSelect is the shape the directive exists for: pure mask arithmetic.
+//
+//proram:branchless fixture: constant-time select helper
+func ctSelect(mask, a, b uint64) uint64 {
+	return (a & mask) | (b &^ mask)
+}
+
+// ctCaller may call other marked functions with derived values.
+//
+//proram:branchless fixture: composes marked helpers
+func ctCaller(x, y uint64) uint64 {
+	return ctSelect(0-(x&1), x, y)
+}
+
+// popcount may use math/bits with derived arguments.
+//
+//proram:branchless fixture: bit tricks are the point
+func popcount(x uint64) int {
+	return bits.OnesCount64(x)
+}
+
+// branchy branches on an input.
+//
+//proram:branchless fixture: seeded violation
+func branchy(x uint64) uint64 {
+	if x > 3 { // want `if condition depends on function inputs`
+		return 1
+	}
+	return 0
+}
+
+// payloadBranch branches on secret payload bytes.
+//
+//proram:branchless fixture: seeded violation
+func payloadBranch(b blk) int {
+	if b.data[0] == 1 { // want `if condition depends on secret data`
+		return 1
+	}
+	return 0
+}
+
+// shortCircuit evaluates its right operand conditionally.
+//
+//proram:branchless fixture: seeded violation
+func shortCircuit(a, b uint64) bool {
+	ok := a == 0 && b == 0 // want `short-circuits on an operand derived from function inputs`
+	return ok
+}
+
+// varShift shifts by a derived amount.
+//
+//proram:branchless fixture: seeded violation
+func varShift(x uint64, s uint) uint64 {
+	return x << s // want `shift amount depends on function inputs`
+}
+
+// mapProbe keys a map by a derived value.
+//
+//proram:branchless fixture: seeded violation
+func mapProbe(m map[uint64]int, k uint64) int {
+	return m[k] // want `map lookup keyed by .* has data-dependent latency`
+}
+
+// minMax may compile to a conditional.
+//
+//proram:branchless fixture: seeded violation
+func minMax(a, b uint64) uint64 {
+	return min(a, b) // want `min/max on .* may compile to a branch`
+}
+
+// leaky is an ordinary helper that branches on its parameter.
+func leaky(v uint64) uint64 {
+	if v > 0 {
+		return 1
+	}
+	return 0
+}
+
+// callsLeaky hands a derived value to an unmarked callee that branches
+// on it.
+//
+//proram:branchless fixture: seeded violation
+func callsLeaky(x uint64) uint64 {
+	return leaky(x) // want `passes a value derived from function inputs into parameter v, which leaky branches on`
+}
+
+// callsOpaque hands a derived value to a function value the analysis
+// cannot resolve.
+//
+//proram:branchless fixture: seeded violation
+func callsOpaque(f func(uint64) uint64, x uint64) uint64 {
+	return f(x) // want `call to an unanalyzable function passes a value derived from function inputs`
+}
+
+// declassified may branch on a value a //proram:public directive blesses.
+//
+//proram:branchless fixture: declassification is explicit
+func declassified(b blk) int {
+	version := b.data[0] //proram:public fixture: the version byte is public by protocol
+	if version == 2 {
+		return 1
+	}
+	return 0
+}
+
+// unmarked functions may branch freely.
+func unmarked(x uint64) uint64 {
+	if x > 3 {
+		return 1
+	}
+	return 0
+}

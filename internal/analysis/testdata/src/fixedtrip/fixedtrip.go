@@ -1,0 +1,153 @@
+// Package fixedtrip is a proram-vet golden fixture for the trip-count
+// pass: secret-steered loop bounds must be flagged in the oblivious
+// scope, and every //proram:fixedtrip-marked loop must carry a static
+// constant-trip proof.
+package fixedtrip
+
+type block struct {
+	id uint64
+	//proram:secret fixture payload bytes
+	data []byte
+}
+
+func sink(n int) {}
+
+// paddedRound mirrors the scheduler's RoundSlots padding loop: counted,
+// public invariant bound, single constant step — the proof holds.
+func paddedRound(slots int) int {
+	n := 0
+	//proram:fixedtrip fixture: pads to exactly slots accesses
+	for i := 0; i < slots; i++ {
+		n++
+	}
+	return n
+}
+
+// flushPad proves a marked range loop over a slice.
+func flushPad(lanes []int) int {
+	n := 0
+	//proram:fixedtrip fixture: one pass over the fixed lane set
+	for range lanes {
+		n++
+	}
+	return n
+}
+
+// secretPadding is the seeded violation of the issue: the padding budget
+// is steered by payload bytes, so the trip count leaks.
+func secretPadding(b block, slots int) int {
+	pad := slots - int(b.data[0])
+	n := 0
+	for i := 0; i < pad; i++ { // want `loop condition depends on secret data`
+		n++
+	}
+	return n
+}
+
+// secretContainer ranges over a container derived from the payload.
+func secretContainer(b block) int {
+	n := 0
+	for range b.data[1:] { // want `range loop iterates over a secret-derived container`
+		n++
+	}
+	return n
+}
+
+// earlyBreak claims a fixed trip but can leave early.
+func earlyBreak(slots int) int {
+	n := 0
+	//proram:fixedtrip fixture: claims a fixed trip
+	for i := 0; i < slots; i++ { // want `the body can leave the loop early`
+		if n > 3 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// overshoot uses a != condition, which a missed step skips past.
+func overshoot(slots int) int {
+	n := 0
+	//proram:fixedtrip fixture: claims a fixed trip
+	for i := 0; i != slots; i++ { // want `a != or == condition can overshoot`
+		n++
+	}
+	return n
+}
+
+// movingBound re-reads a function each iteration.
+func movingBound(get func() int) int {
+	n := 0
+	//proram:fixedtrip fixture: claims a fixed trip
+	for i := 0; i < get(); i++ { // want `not provably loop-invariant`
+		n++
+	}
+	return n
+}
+
+// secretBound claims a fixed trip over a payload-derived bound.
+func secretBound(b block) int {
+	n := 0
+	limit := int(b.data[0])
+	//proram:fixedtrip fixture: claims a fixed trip
+	for i := 0; i < limit; i++ { // want `loop condition depends on secret data`
+		n++
+	}
+	return n
+}
+
+// mapTrip claims a fixed trip ranging over a map.
+func mapTrip(m map[int]int) int {
+	n := 0
+	//proram:fixedtrip fixture: claims a fixed trip
+	for range m { // want `ranging over a map`
+		n++
+	}
+	return n
+}
+
+// inLiteral hides a marked loop inside a function literal.
+func inLiteral(slots int) int {
+	n := 0
+	f := func() {
+		//proram:fixedtrip fixture: claims a fixed trip
+		for i := 0; i < slots; i++ { // want `inside a function literal`
+			n++
+		}
+	}
+	f()
+	return n
+}
+
+// steppedTwice steps the counter in the body as well as the post.
+func steppedTwice(slots int) int {
+	n := 0
+	//proram:fixedtrip fixture: claims a fixed trip
+	for i := 0; i < slots; i++ { // want `stepped more than once per iteration`
+		i++
+		n++
+	}
+	return n
+}
+
+// downCount proves a decreasing counted loop.
+func downCount(slots int) int {
+	n := 0
+	//proram:fixedtrip fixture: drains exactly slots entries
+	for i := slots; i > 0; i-- {
+		n++
+	}
+	return n
+}
+
+// publicLenLoop: a loop over the payload's length is public by
+// construction (lengths are sanitized) and needs no directive.
+func publicLenLoop(b block) int {
+	n := 0
+	for i := 0; i < len(b.data); i++ {
+		n++
+	}
+	sink(int(b.id))
+	return n
+}

@@ -189,10 +189,21 @@ func (m *Model) decompose(addr uint64) (ch int, gb int, row uint64) {
 //proram:hotpath one enqueue per bucket of every banked path access
 func (m *Model) Access(now, addr, bytes uint64, write bool) uint64 {
 	ch, gb, row := m.decompose(addr)
+	// Hoist the geometry-sized slices and pin both indexes once:
+	// decompose maps every address into [0, banks) and [0, channels) by
+	// construction, and the pins let the bounds checker (and the
+	// compiler) prove every indexing below.
+	openRow, bankUntil, busUntil := m.openRow, m.bankUntil, m.busUntil
+	chanBusy, bankAccesses := m.chanBusy, m.bankAccesses
+	_ = openRow[gb]
+	_ = bankUntil[gb]
+	_ = bankAccesses[gb]
+	_ = busUntil[ch]
+	_ = chanBusy[ch]
 	var start uint64
 	var rowLat uint64
 	var outcome Outcome
-	switch m.openRow[gb] {
+	switch openRow[gb] {
 	case row:
 		// Open row: CAS commands pipeline past the in-flight burst.
 		start = now
@@ -201,14 +212,14 @@ func (m *Model) Access(now, addr, bytes uint64, write bool) uint64 {
 		m.stats.RowHits++
 		m.obsRowHits.Inc()
 	case rowClosed:
-		start = max(now, m.bankUntil[gb])
+		start = max(now, bankUntil[gb])
 		rowLat = m.cfg.TRCD + m.cfg.TCAS
 		outcome = RowMiss
 		m.stats.RowMisses++
 		m.obsRowMiss.Inc()
 	default:
 		// Row change: the bank must drain its burst before precharge.
-		start = max(now, m.bankUntil[gb])
+		start = max(now, bankUntil[gb])
 		rowLat = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS
 		outcome = RowConflict
 		m.stats.RowConflicts++
@@ -218,14 +229,14 @@ func (m *Model) Access(now, addr, bytes uint64, write bool) uint64 {
 	if transfer == 0 {
 		transfer = 1
 	}
-	dataStart := max(start+rowLat, m.busUntil[ch])
+	dataStart := max(start+rowLat, busUntil[ch])
 	done := dataStart + transfer
 
-	m.bankUntil[gb] = done
-	m.busUntil[ch] = done
-	m.openRow[gb] = row
-	m.chanBusy[ch] += transfer
-	m.bankAccesses[gb]++
+	bankUntil[gb] = done
+	busUntil[ch] = done
+	openRow[gb] = row
+	chanBusy[ch] += transfer
+	bankAccesses[gb]++
 	m.stats.Accesses++
 	m.stats.BytesMoved += bytes
 	m.stats.BusyCycles += transfer
@@ -236,9 +247,11 @@ func (m *Model) Access(now, addr, bytes uint64, write bool) uint64 {
 	}
 	m.obsAccesses.Inc()
 	m.obsBytes.Add(bytes)
-	if m.obsChanBusy != nil {
-		m.obsChanBusy[ch].Add(transfer)
-		m.obsBankAcc[gb].Inc()
+	if obsChanBusy, obsBankAcc := m.obsChanBusy, m.obsBankAcc; obsChanBusy != nil {
+		_ = obsChanBusy[ch]
+		_ = obsBankAcc[gb]
+		obsChanBusy[ch].Add(transfer)
+		obsBankAcc[gb].Inc()
 	}
 	if m.log != nil {
 		m.log = append(m.log, AccessRec{Addr: addr, Start: now, Done: done, Write: write, Outcome: outcome}) //proram:allow allocdiscipline timing log is opt-in debugging, off in measured runs

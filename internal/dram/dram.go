@@ -220,16 +220,18 @@ func (m *Model) transferCycles(bytes uint64) uint64 {
 //
 //proram:hotpath one enqueue per baseline cache-line access
 func (m *Model) Access(now, addr, bytes uint64) uint64 {
-	bank := int((addr / 4096) % uint64(len(m.bankUntil))) // page-interleaved
+	bankUntil := m.bankUntil
+	bank := int((addr / 4096) % uint64(len(bankUntil))) // page-interleaved
+	_ = bankUntil[bank]
 	transfer := m.transferCycles(bytes)
 
-	start := max(now, m.bankUntil[bank])
+	start := max(now, bankUntil[bank])
 	// The channel must be free for the transfer portion at the end of the
 	// access; approximate by serializing transfers on the bus.
 	busStart := max(start+m.cfg.LatencyCycles-transfer, m.busUntil)
 	done := busStart + transfer
 
-	m.bankUntil[bank] = done
+	bankUntil[bank] = done
 	m.busUntil = busStart + transfer
 	m.stats.Accesses++
 	m.stats.BytesMoved += bytes
@@ -250,8 +252,9 @@ func (m *Model) BulkTransfer(now, bytes, extraLatency uint64) uint64 {
 	start := max(now, m.busUntil)
 	// A bulk transfer owns every bank and the channel until done.
 	done := start + extraLatency + transfer
-	for i := range m.bankUntil {
-		m.bankUntil[i] = done
+	bankUntil := m.bankUntil
+	for i := range bankUntil {
+		bankUntil[i] = done
 	}
 	m.busUntil = done
 	m.stats.BulkTransfers++

@@ -248,7 +248,7 @@ func (c *Controller) rawPathAccess(start uint64, leaf mem.Leaf, kind AccessKind,
 		c.trace = append(c.trace, TraceEvent{Leaf: uint64(leaf), Start: start, Kind: kind}) //proram:allow allocdiscipline trace recording is opt-in debugging, off in measured runs
 	}
 	c.obsPaths.Inc()
-	c.obsKindCtr[kind].Inc()
+	c.obsKindCtr[kind].Inc() //proram:allow boundscheck the array is sized KindPeriodicDummy+1 and every caller passes a declared Kind constant; the switch above would already be incomplete for anything else
 	c.obs.Span("oram", kind.String(), start, end-start, "leaf", uint64(leaf))
 
 	c.scratch = c.tr.RemovePath(leaf, c.scratch[:0])
@@ -386,15 +386,19 @@ func (c *Controller) access(now uint64, index uint64, wb bool) Result {
 		c.chain = append(c.chain, idx) //proram:allow allocdiscipline appends into a reusable buffer reset to length 0; capacity is retained across accesses
 		idx /= uint64(c.cfg.Fanout)
 	}
+	// The build loop above ran depth+1 times, so chain[depth] pins the
+	// whole walk below in bounds.
+	chain := c.chain
+	_ = chain[depth]
 	startLvl := depth + 1 // no PLB hit: start from the on-chip table
 	for l := 1; l <= depth; l++ {
-		if c.plb.Lookup(mem.MakeID(l, c.chain[l])) {
+		if c.plb.Lookup(mem.MakeID(l, chain[l])) {
 			startLvl = l
 			break
 		}
 	}
 	for l := startLvl - 1; l >= 1; l-- {
-		id := mem.MakeID(l, c.chain[l])
+		id := mem.MakeID(l, chain[l]) //proram:allow boundscheck l < startLvl <= depth+1 = len(chain); the prover has no upper-bound facts for down-counting loops
 		c.accessPosMapBlock(now, id, KindPosMap)
 		if victim, dirty, ok := c.plb.Insert(id); ok && dirty {
 			c.accessPosMapBlock(c.lastEnd, victim, KindPLBWriteback)

@@ -28,7 +28,7 @@ func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []
 	// Remapping children dirties the level-1 block wherever it is cached.
 	c.plb.MarkDirty(pb.ID())
 
-	e := &pb.Entries[slot]
+	e := &pb.Entries[slot] //proram:allow boundscheck slot = index mod Fanout and level-1 blocks carry Fanout entries; the relation lives in posmap construction, out of the prover's reach
 	isNew := e.Leaf == mem.NoLeaf
 	n := int(e.SBSize)
 	if isNew {
@@ -46,10 +46,10 @@ func (c *Controller) dataAccess(ready uint64, index uint64, wb bool) (uint64, []
 
 	// Remap the whole super block to one fresh leaf (steps 4 of §2.2
 	// generalized to super blocks, §3.2).
-	for i := gStart; i < gStart+n; i++ {
-		ge := &pb.Entries[i]
-		ge.Leaf = newLeaf
-		ge.SBSize = uint8(n)
+	members := pb.Entries[gStart : gStart+n]
+	for i := range members {
+		members[i].Leaf = newLeaf
+		members[i].SBSize = uint8(n)
 	}
 
 	readLeaf := oldLeaf
@@ -162,12 +162,14 @@ func (c *Controller) staticGroupSize(pb *posmap.Block, slot int) int {
 //proram:hotpath runs inside every dynamic-scheme super-block access
 func (c *Controller) breakUpdate(g group) int {
 	raw := int(g.pb.BreakCounter(g.start))
-	for i := g.start; i < g.start+g.size; i++ {
-		ge := &g.pb.Entries[i]
+	members := g.pb.Entries[g.start : g.start+g.size]
+	base := g.pbIdx*uint64(c.cfg.Fanout) + uint64(g.start)
+	for i := range members {
+		ge := &members[i]
 		if !ge.Prefetch {
 			continue
 		}
-		gi := g.pbIdx*uint64(c.cfg.Fanout) + uint64(i)
+		gi := base + uint64(i)
 		if c.hitBits[gi] {
 			raw++
 			c.stats.ReloadedUsed++
@@ -199,16 +201,18 @@ func (c *Controller) breakGroup(g group, slot int, keepLeaf mem.Leaf) group {
 	half := g.size / 2
 	otherLeaf := c.randLeaf()
 	lowerHasSlot := slot < g.start+half
-	for i := g.start; i < g.start+g.size; i++ {
-		ge := &g.pb.Entries[i]
+	members := g.pb.Entries[g.start : g.start+g.size]
+	base := g.pbIdx*uint64(c.cfg.Fanout) + uint64(g.start)
+	for i := range members {
+		ge := &members[i]
 		ge.SBSize = uint8(half)
-		inLower := i < g.start+half
+		inLower := i < half
 		leaf := keepLeaf
 		if inLower != lowerHasSlot {
 			leaf = otherLeaf
 		}
 		ge.Leaf = leaf
-		id := mem.MakeID(0, g.pbIdx*uint64(c.cfg.Fanout)+uint64(i))
+		id := mem.MakeID(0, base+uint64(i))
 		if !c.st.SetLeaf(id, leaf) {
 			//proram:invariant the path read that triggered the break stashed every super-block member first
 			panic(fmt.Sprintf("oram: breaking super block but member %v not stashed", id))
@@ -250,17 +254,22 @@ func (c *Controller) mergeCheck(g group) {
 	if nb+n > len(g.pb.Entries) {
 		return
 	}
+	neighbor := g.pb.Entries[nb : nb+n]
+	nbBase := g.pbIdx*uint64(c.cfg.Fanout) + uint64(nb)
 	// The neighbor must currently be a same-size, already-touched group.
-	for i := nb; i < nb+n; i++ {
-		ge := &g.pb.Entries[i]
+	// Its members all share one leaf, so any member names it for the merge.
+	neighborLeaf := mem.NoLeaf
+	for i := range neighbor {
+		ge := &neighbor[i]
 		if int(ge.SBSize) != n || ge.Leaf == mem.NoLeaf {
 			return
 		}
+		neighborLeaf = ge.Leaf
 	}
 	allInLLC := c.prober != nil
 	if allInLLC {
-		for i := nb; i < nb+n; i++ {
-			if !c.prober.Present(g.pbIdx*uint64(c.cfg.Fanout) + uint64(i)) {
+		for i := range neighbor {
+			if !c.prober.Present(nbBase + uint64(i)) {
 				allInLLC = false
 				break
 			}
@@ -279,18 +288,20 @@ func (c *Controller) mergeCheck(g group) {
 	// Merge: B adopts B''s leaf. B's members are all in the stash right
 	// now, so remapping them is safe; B''s ORAM-resident copies keep their
 	// existing (shared) leaf, preserving the path invariant.
-	neighborLeaf := g.pb.Entries[nb].Leaf
-	for i := g.start; i < g.start+n; i++ {
-		g.pb.Entries[i].Leaf = neighborLeaf
-		id := mem.MakeID(0, g.pbIdx*uint64(c.cfg.Fanout)+uint64(i))
+	own := g.pb.Entries[g.start : g.start+n]
+	base := g.pbIdx*uint64(c.cfg.Fanout) + uint64(g.start)
+	for i := range own {
+		own[i].Leaf = neighborLeaf
+		id := mem.MakeID(0, base+uint64(i))
 		if !c.st.SetLeaf(id, neighborLeaf) {
 			//proram:invariant merge runs inside the path read that stashed all of the merging block's members
 			panic(fmt.Sprintf("oram: merging super block but member %v not stashed", id))
 		}
 	}
 	merged := group{pb: g.pb, pbIdx: g.pbIdx, start: pair, size: 2 * n}
-	for i := merged.start; i < merged.start+merged.size; i++ {
-		g.pb.Entries[i].SBSize = uint8(merged.size)
+	pairMembers := g.pb.Entries[merged.start : merged.start+merged.size]
+	for i := range pairMembers {
+		pairMembers[i].SBSize = uint8(merged.size)
 	}
 	// Reconstruct counters for the new granularity.
 	g.pb.ResetMergeCounter(pair)

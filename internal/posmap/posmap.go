@@ -197,11 +197,14 @@ func (h *Hierarchy) Fanout() int { return h.cfg.Fanout }
 //
 //proram:hotpath fetched for every data access
 func (h *Hierarchy) Block(level int, index uint64) *Block {
-	if level < 1 || level > h.Depth() {
+	// Depth() == len(counts)-1; phrasing the guard against the hoisted
+	// slice hands the bounds prover the exact fact it needs below.
+	counts := h.counts
+	if level < 1 || level > len(counts)-1 {
 		//proram:invariant levels come from mem.BlockID values the controller built with MakeID against this hierarchy's depth
 		panic(fmt.Sprintf("posmap: Block level %d out of range [1,%d]", level, h.Depth()))
 	}
-	if index >= h.counts[level] {
+	if index >= counts[level] {
 		//proram:invariant indices come from mem.BlockID values bounds-checked at construction, so a hot-path error return would only hide corruption
 		panic(fmt.Sprintf("posmap: Block index %d out of range at level %d", index, level))
 	}
@@ -226,7 +229,7 @@ func (h *Hierarchy) EntryFor(level int, index uint64) *Entry {
 		panic(fmt.Sprintf("posmap: EntryFor level %d has no parent block (depth %d)", level, h.Depth()))
 	}
 	pi, slot := h.Parent(level, index)
-	return &h.materialize(level+1, pi).Entries[slot]
+	return &h.materialize(level+1, pi).Entries[slot] //proram:allow boundscheck slot = index mod Fanout and every materialized block carries Fanout entries; the container is a call result the prover cannot name
 }
 
 // TopLeaf returns the on-chip leaf of the top-level block at index, or

@@ -72,9 +72,10 @@ func (s *Stream) Issued() uint64 { return s.issued }
 //proram:hotpath runs on every simulated LLC miss
 func (s *Stream) OnMiss(index uint64, dst []uint64) []uint64 {
 	s.tick++
+	streams := s.streams
 	// Look for a stream expecting this index.
-	for i := range s.streams {
-		st := &s.streams[i]
+	for i := range streams {
+		st := &streams[i]
 		if !st.valid || st.expected != index {
 			continue
 		}
@@ -88,17 +89,19 @@ func (s *Stream) OnMiss(index uint64, dst []uint64) []uint64 {
 		}
 		return dst
 	}
-	// No match: allocate (LRU) a tentative stream expecting index+1.
-	victim := 0
-	for i := range s.streams {
-		if !s.streams[i].valid {
+	// No match: allocate (LRU) a tentative stream expecting index+1. The
+	// victim's lastUse rides in a register instead of re-indexing.
+	victim, victimUse := 0, ^uint64(0)
+	for i := range streams {
+		st := &streams[i]
+		if !st.valid {
 			victim = i
 			break
 		}
-		if s.streams[i].lastUse < s.streams[victim].lastUse {
-			victim = i
+		if st.lastUse < victimUse {
+			victim, victimUse = i, st.lastUse
 		}
 	}
-	s.streams[victim] = stream{valid: true, expected: index + 1, lastUse: s.tick}
+	streams[victim] = stream{valid: true, expected: index + 1, lastUse: s.tick} //proram:allow boundscheck victim is 0 or a range index of the scan above, and Validate enforces Streams >= 1
 	return dst
 }

@@ -203,21 +203,24 @@ func (p *partition) demandRound(w roundWork, res *roundResult) {
 		}
 		budget -= p.demandAccess(req, local, res)
 	}
-	for budget > 0 {
+	// The pad count is fixed once demand service ends; a single counted
+	// loop (rather than draining budget in place) lets the fixedtrip pass
+	// prove the round always issues its full complement.
+	pad := budget
+	//proram:fixedtrip pads the round to exactly roundSlots accesses — the obliviousness contract of §4
+	for i := 0; i < pad; i++ {
 		if p.dropDummies {
 			// Negative control: claim the padding without issuing it. Every
 			// counter and reported shape stays plausible — only the observed
 			// trace (and the auditor watching it) knows.
 			res.dummy++
 			p.dummyAccesses++
-			budget--
 			continue
 		}
 		p.dummyAccess()
 		p.mark(true)
 		res.dummy++
 		p.dummyAccesses++
-		budget--
 	}
 	if got := res.real + res.dummy; got != p.roundSlots {
 		//proram:invariant the fixed per-round access count is the scheduler's obliviousness contract; missing it is a budget-accounting bug
@@ -285,9 +288,7 @@ func (p *partition) demandAccess(req *request, local uint64, res *roundResult) i
 func (p *partition) finish(req *request, line *cacheLine, res *roundResult) {
 	if req.write {
 		p.writes++
-		for i := range line.data {
-			line.data[i] = 0
-		}
+		clear(line.data)
 		copy(line.data, req.data)
 		line.dirty = true
 		p.answer(req, response{}, res)
@@ -383,6 +384,7 @@ func (p *partition) flushRound(res *roundResult) {
 
 // padRound equalizes a flush round: padTo additional dummy accesses.
 func (p *partition) padRound(w roundWork, res *roundResult) {
+	//proram:fixedtrip equalizes the flush sub-round to the dispatcher's padTo, keeping every partition's flush length identical
 	for i := 0; i < w.padTo; i++ {
 		p.dummyAccess()
 		p.mark(true)

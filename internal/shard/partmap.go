@@ -79,16 +79,18 @@ func (m *PartitionMap) Group(index uint64) int {
 // flow and touched addresses are identical for every index.
 //
 //proram:hotpath runs on every request admission; must stay branchless and allocation-free
+//proram:branchless the scan's control flow and touched addresses must be identical for every index
 func (m *PartitionMap) Lookup(index uint64) int {
 	g := uint64(m.Group(index))
 	var p uint16
-	for i := range m.table {
+	table := m.table
+	for i := range table {
 		// (d|-d)>>63 is 1 for any nonzero d, 0 for d == 0, so eq is 1
 		// exactly when i == g; mask is then 0xffff or 0x0000.
 		d := uint64(i) ^ g
 		eq := ((d | -d) >> 63) ^ 1
 		mask := uint16(0) - uint16(eq)
-		p |= m.table[i] & mask
+		p |= table[i] & mask
 	}
 	return int(p)
 }

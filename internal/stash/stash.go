@@ -115,7 +115,7 @@ func (s *Stash) SetLeaf(id mem.BlockID, leaf mem.Leaf) bool {
 	if !ok {
 		return false
 	}
-	s.order[pos].leaf = leaf
+	s.order[pos].leaf = leaf //proram:allow boundscheck index maps every live id to its order position; maybeCompact rewrites both together
 	return true
 }
 
@@ -128,7 +128,7 @@ func (s *Stash) Remove(id mem.BlockID) bool {
 		return false
 	}
 	delete(s.index, id)
-	s.order[pos].id = mem.Nil // tombstone; compact lazily
+	s.order[pos].id = mem.Nil //proram:allow boundscheck index maps every live id to its order position; maybeCompact rewrites both together
 	s.maybeCompact()
 	return true
 }
@@ -184,12 +184,14 @@ func (s *Stash) EvictToPath(t *tree.Tree, accessLeaf mem.Leaf) int {
 			continue
 		}
 		d := t.CommonDepth(accessLeaf, e.leaf)
+		//proram:allow boundscheck CommonDepth returns a depth in [0, Levels] and groups has Levels+1 buckets; the relation lives behind the call
 		groups[d] = append(groups[d], e.id) //proram:allow allocdiscipline buckets reuse scratch capacity retained across evictions
 	}
 
 	placed := 0
 	carry := s.carry[:0]
 	for depth := levels; depth >= 0; depth-- {
+		//proram:allow boundscheck depth counts down from levels = len(groups)-1; the prover has no upper-bound facts for down-counting loops
 		carry = append(carry, groups[depth]...) //proram:allow allocdiscipline appends into the reusable s.carry buffer
 		free := t.FreeAt(accessLeaf, depth)
 		for free > 0 && len(carry) > 0 {
@@ -201,7 +203,7 @@ func (s *Stash) EvictToPath(t *tree.Tree, accessLeaf mem.Leaf) int {
 			}
 			pos := s.index[id]
 			delete(s.index, id)
-			s.order[pos].id = mem.Nil
+			s.order[pos].id = mem.Nil //proram:allow boundscheck index maps every live id to its order position; maybeCompact rewrites both together
 			placed++
 			free--
 		}

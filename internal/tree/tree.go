@@ -112,10 +112,11 @@ func (t *Tree) BucketCount(node uint64) int {
 func (t *Tree) RemovePath(leaf mem.Leaf, dst []mem.BlockID) []mem.BlockID {
 	for depth := 0; depth <= t.levels; depth++ {
 		base := t.slotBase(t.NodeAt(leaf, depth))
-		for i := 0; i < t.z; i++ {
-			if id := t.slots[base+uint64(i)]; !id.IsNil() {
+		bucket := t.slots[base : base+uint64(t.z)]
+		for i := range bucket {
+			if id := bucket[i]; !id.IsNil() {
 				dst = append(dst, id) //proram:allow allocdiscipline appends into the caller's reusable path buffer
-				t.slots[base+uint64(i)] = mem.Nil
+				bucket[i] = mem.Nil
 				t.used--
 			}
 		}
@@ -147,9 +148,10 @@ func (t *Tree) PlaceAt(leaf mem.Leaf, depth int, id mem.BlockID) bool {
 		panic("tree: PlaceAt with nil block")
 	}
 	base := t.slotBase(t.NodeAt(leaf, depth))
-	for i := 0; i < t.z; i++ {
-		if t.slots[base+uint64(i)].IsNil() {
-			t.slots[base+uint64(i)] = id
+	bucket := t.slots[base : base+uint64(t.z)]
+	for i := range bucket {
+		if bucket[i].IsNil() {
+			bucket[i] = id
 			t.used++
 			return true
 		}
